@@ -1,0 +1,59 @@
+// Ablation A9 — load scaling beyond the paper's 256 users: where does each
+// mechanism stop helping? Sweeps the user count past saturation and tracks
+// the best static policy against Rep(1,3), showing the regime boundaries:
+// (a) light load where everything is free, (b) the imbalance regime where
+// selection + replication recover most QoS, (c) global over-subscription
+// where no placement policy can help and only admission control degrades
+// gracefully.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sqos;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_preamble("Ablation A9 — user-count scaling past the paper's operating point",
+                        "fail rate / over-allocate vs concurrent users", args);
+
+  AsciiTable table{"Scaling sweep ((1,0,0); Rep = Rep(1,3))"};
+  table.set_header({"users", "firm static", "firm Rep", "soft static", "soft Rep",
+                    "negotiate ms"});
+  CsvWriter csv = bench::open_csv(args, {"users", "firm_static", "firm_rep", "soft_static",
+                                         "soft_rep", "mean_negotiation_ms"});
+
+  const std::vector<std::size_t> user_counts =
+      args.quick ? std::vector<std::size_t>{128, 512}
+                 : std::vector<std::size_t>{64, 128, 256, 384, 512, 768};
+  for (const std::size_t users : user_counts) {
+    exp::ExperimentParams params;
+    params.users = users;
+    params.policy = core::PolicyWeights::p100();
+
+    params.mode = core::AllocationMode::kFirm;
+    params.replication = core::ReplicationConfig::static_only();
+    const exp::ExperimentResult firm_static = bench::run(args, params);
+    params.replication = core::ReplicationConfig::rep(1, 3);
+    const exp::ExperimentResult firm_rep = bench::run(args, params);
+
+    params.mode = core::AllocationMode::kSoft;
+    params.replication = core::ReplicationConfig::static_only();
+    const exp::ExperimentResult soft_static = bench::run(args, params);
+    params.replication = core::ReplicationConfig::rep(1, 3);
+    const exp::ExperimentResult soft_rep = bench::run(args, params);
+
+    table.add_row({std::to_string(users), format_percent(firm_static.fail_rate, 2),
+                   format_percent(firm_rep.fail_rate, 2),
+                   format_percent(soft_static.overallocate_ratio, 2),
+                   format_percent(soft_rep.overallocate_ratio, 2),
+                   format_double(firm_static.mean_negotiation_ms, 2)});
+    csv.row({std::to_string(users), format_double(firm_static.fail_rate, 6),
+             format_double(firm_rep.fail_rate, 6),
+             format_double(soft_static.overallocate_ratio, 6),
+             format_double(soft_rep.overallocate_ratio, 6),
+             format_double(firm_static.mean_negotiation_ms, 4)});
+  }
+  table.print();
+  std::printf("\nExpected shape: replication's relative gain peaks in the imbalance regime\n"
+              "around the paper's 256-user point and shrinks as aggregate demand crosses\n"
+              "total capacity (~512+ users), where only admission control is left.\n"
+              "Negotiation latency stays flat — the control plane does not congest.\n");
+  return 0;
+}

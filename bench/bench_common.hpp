@@ -1,0 +1,82 @@
+// Shared plumbing for the per-table / per-figure reproduction binaries.
+//
+// Every binary accepts `key=value` overrides:
+//   seeds=N     runs per configuration, averaged (default 3)
+//   users=N     override the user count where applicable
+//   csv=path    mirror the table/series to a CSV file
+//   quick=1     single seed, reduced sweep (smoke-test mode)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "util/config.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace sqos::bench {
+
+struct BenchArgs {
+  Config cfg;
+  std::size_t seeds = 3;
+  bool quick = false;
+  std::string csv_path;
+  std::uint64_t base_seed = 1;
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  auto parsed = Config::from_args(argc, argv);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+    std::exit(1);
+  }
+  BenchArgs args;
+  args.cfg = std::move(parsed).take();
+  args.quick = args.cfg.get_bool("quick", false);
+  args.seeds = static_cast<std::size_t>(args.cfg.get_int("seeds", args.quick ? 1 : 3));
+  args.csv_path = args.cfg.get_string("csv", "");
+  args.base_seed = static_cast<std::uint64_t>(args.cfg.get_int("seed", 1));
+  return args;
+}
+
+/// The user counts swept by Tables I and III.
+inline std::vector<std::size_t> user_sweep(const BenchArgs& args) {
+  if (args.cfg.contains("users")) {
+    return {static_cast<std::size_t>(args.cfg.get_int("users", 256))};
+  }
+  if (args.quick) return {64, 256};
+  return {64, 128, 192, 256};
+}
+
+/// The four §VI.C replication strategies in paper order.
+inline std::vector<core::ReplicationConfig> strategy_sweep() {
+  return {core::ReplicationConfig::static_only(), core::ReplicationConfig::baseline(),
+          core::ReplicationConfig::rep(1, 8), core::ReplicationConfig::rep(1, 3)};
+}
+
+inline exp::ExperimentResult run(const BenchArgs& args, exp::ExperimentParams params) {
+  params.seed = args.base_seed;
+  return exp::run_averaged(params, args.seeds);
+}
+
+inline CsvWriter open_csv(const BenchArgs& args, const std::vector<std::string>& header) {
+  auto w = CsvWriter::open(args.csv_path, header);
+  if (!w.is_ok()) {
+    std::fprintf(stderr, "%s\n", w.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(w).take();
+}
+
+/// Header note shared by all binaries: absolute numbers are simulator-scale;
+/// the paper's published value is printed alongside where available.
+inline void print_preamble(const char* experiment, const char* metric, const BenchArgs& args) {
+  std::printf("== storageqos reproduction: %s ==\n", experiment);
+  std::printf("metric: %s | seeds averaged: %zu%s\n\n", metric, args.seeds,
+              args.quick ? " (quick mode)" : "");
+}
+
+}  // namespace sqos::bench

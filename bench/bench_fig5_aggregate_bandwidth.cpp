@@ -1,0 +1,88 @@
+// Figure 5 — aggregated bandwidth utilization in firm real-time allocation:
+// (a) the two extra-large RMs (RM1 + RM9), (b) the fourteen small RMs,
+// under policies (0,0,0) and (1,0,0) with static replication.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "exp/paper_setup.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sqos;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  args.seeds = 1;
+  bench::print_preamble("Figure 5 — aggregated bandwidth utilization, firm RT, static",
+                        "sum of allocated bandwidth (MB/s) per RM group over time", args);
+
+  const auto large = exp::paper_large_rm_indices();
+  const auto small = exp::paper_small_rm_indices();
+
+  struct Run {
+    std::string policy;
+    std::vector<double> large_mbs;  // MB/s
+    std::vector<double> small_mbs;
+    std::vector<double> times_s;
+    double avg_large = 0.0;
+    double avg_small = 0.0;
+  };
+  std::vector<Run> runs;
+
+  for (const auto& policy : {core::PolicyWeights::random(), core::PolicyWeights::p100()}) {
+    exp::ExperimentParams params;
+    params.users = static_cast<std::size_t>(args.cfg.get_int("users", 256));
+    params.mode = core::AllocationMode::kFirm;
+    params.policy = policy;
+    params.monitor_interval = SimTime::seconds(60.0);
+    params.seed = args.base_seed;
+    const exp::ExperimentResult r = exp::run_experiment(params);
+
+    Run run;
+    run.policy = policy.to_string();
+    const std::size_t n = r.rm_series[0].size();
+    for (std::size_t i = 0; i < n; ++i) {
+      double lsum = 0.0;
+      double ssum = 0.0;
+      for (const std::size_t rm : large) lsum += r.rm_series[rm][i].value_bps;
+      for (const std::size_t rm : small) ssum += r.rm_series[rm][i].value_bps;
+      run.times_s.push_back(r.rm_series[0][i].time_s);
+      run.large_mbs.push_back(lsum / 1e6);
+      run.small_mbs.push_back(ssum / 1e6);
+      run.avg_large += lsum / 1e6;
+      run.avg_small += ssum / 1e6;
+    }
+    run.avg_large /= static_cast<double>(n);
+    run.avg_small /= static_cast<double>(n);
+    runs.push_back(std::move(run));
+  }
+
+  CsvWriter csv = bench::open_csv(args, {"policy", "time_s", "large_mbs", "small_mbs"});
+  for (const Run& run : runs) {
+    for (std::size_t i = 0; i < run.times_s.size(); ++i) {
+      csv.row({run.policy, format_double(run.times_s[i], 1), format_double(run.large_mbs[i], 4),
+               format_double(run.small_mbs[i], 4)});
+    }
+  }
+
+  AsciiTable table{"Aggregated utilization over time (MB/s)"};
+  table.set_header({"t (min)", "(0,0,0) large", "(0,0,0) small", "(1,0,0) large",
+                    "(1,0,0) small"});
+  const std::size_t n = runs[0].times_s.size();
+  const std::size_t stride = std::max<std::size_t>(1, n / 16);
+  for (std::size_t i = 0; i < n; i += stride) {
+    table.add_row({format_double(runs[0].times_s[i] / 60.0, 0),
+                   format_double(runs[0].large_mbs[i], 2), format_double(runs[0].small_mbs[i], 2),
+                   format_double(runs[1].large_mbs[i], 2),
+                   format_double(runs[1].small_mbs[i], 2)});
+  }
+  table.print();
+
+  std::printf("\nTime-average aggregated utilization (MB/s):\n");
+  std::printf("  large RMs (cap 32 MB/s): (0,0,0) %.2f | (1,0,0) %.2f\n", runs[0].avg_large,
+              runs[1].avg_large);
+  std::printf("  small RMs (cap 32 MB/s): (0,0,0) %.2f | (1,0,0) %.2f\n", runs[0].avg_small,
+              runs[1].avg_small);
+  std::printf("\nExpected shape (paper Fig. 5): (1,0,0) squeezes more bandwidth out of the\n"
+              "extra-large RMs than (0,0,0); the small RMs run near exhaustion under both;\n"
+              "even (1,0,0) leaves the large RMs well below their 32 MB/s ceiling — the\n"
+              "limitation of selection policies on static replication.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Ablation A5 — microbenchmarks of the hot QoS primitives (google-benchmark):
+// the per-request cost of bid assembly, policy scoring, the two-queue
+// history, the event queue and the allocation ledger.
+#include <benchmark/benchmark.h>
+
+#include "core/bid.hpp"
+#include "core/file_heat.hpp"
+#include "core/history_window.hpp"
+#include "core/selection_policy.hpp"
+#include "sim/simulator.hpp"
+#include "storage/bandwidth_ledger.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+namespace {
+
+using namespace sqos;
+
+void BM_BidAssembly(benchmark::State& state) {
+  core::BidInputs in;
+  in.b_rem = Bandwidth::mbps(18.0);
+  in.b_used = Bandwidth::mbps(12.0);
+  in.reference.valid = true;
+  in.reference.t_start = SimTime::seconds(0.0);
+  in.reference.t_end = SimTime::seconds(60.0);
+  in.reference.fs_total = Bytes::mib(512.0);
+  in.now = SimTime::seconds(90.0);
+  in.b_req = Bandwidth::mbps(1.4);
+  in.t_ocp = SimTime::seconds(240.0);
+  in.t_ocp_avg = SimTime::seconds(300.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::make_bid(in));
+  }
+}
+BENCHMARK(BM_BidAssembly);
+
+void BM_PolicyChoose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng{1};
+  std::vector<core::BidInfo> bids(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bids[i].b_rem_bps = rng.uniform(0.0, 2e6);
+    bids[i].trend_bps = rng.uniform(-1e5, 1e5);
+    bids[i].occupation_bias = rng.uniform(0.1, 1.0);
+    bids[i].b_req_bps = 175e3;
+  }
+  const core::SelectionPolicy policy{core::PolicyWeights::p111()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy.choose(bids, rng));
+  }
+}
+BENCHMARK(BM_PolicyChoose)->Arg(3)->Arg(16)->Arg(128);
+
+void BM_HistoryRecord(benchmark::State& state) {
+  core::TwoQueueHistory history;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    history.record(SimTime::micros(t), Bytes::mib(50.0));
+    t += 1000;
+  }
+}
+BENCHMARK(BM_HistoryRecord);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  sim::Simulator sim;
+  Rng rng{2};
+  // Steady-state churn: schedule one, execute one.
+  for (int i = 0; i < 1024; ++i) {
+    sim.schedule_after(SimTime::micros(static_cast<std::int64_t>(rng.next_below(100000))),
+                       [] {});
+  }
+  for (auto _ : state) {
+    sim.schedule_after(SimTime::micros(static_cast<std::int64_t>(rng.next_below(100000))),
+                       [] {});
+    sim.step();
+  }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_LedgerUpdate(benchmark::State& state) {
+  storage::BandwidthLedger ledger{Bandwidth::mbps(18.0), SimTime::zero()};
+  std::int64_t t = 0;
+  double alloc = 0.0;
+  for (auto _ : state) {
+    t += 500;
+    alloc = alloc > 2.5e6 ? 0.0 : alloc + 175e3;
+    ledger.on_allocation_change(SimTime::micros(t), Bandwidth::bytes_per_sec(alloc));
+  }
+  benchmark::DoNotOptimize(ledger.overallocate_ratio());
+}
+BENCHMARK(BM_LedgerUpdate);
+
+void BM_ZipfSample(benchmark::State& state) {
+  const ZipfDistribution zipf{1000, 1.0};
+  Rng rng{3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_FileHeatCover(benchmark::State& state) {
+  core::FileHeat heat;
+  Rng rng{4};
+  const ZipfDistribution zipf{500, 1.0};
+  for (int i = 0; i < 20'000; ++i) heat.record_access(zipf.sample(rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heat.busiest_cover(0.5));
+  }
+}
+BENCHMARK(BM_FileHeatCover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

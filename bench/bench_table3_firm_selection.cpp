@@ -1,0 +1,42 @@
+// Table III — fail rate on average in firm real-time allocation:
+// selection policies (α,β,γ) x number of users, static replication.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sqos;
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_preamble("Table III — fail rate, firm real-time, static replication",
+                        "failed opens / total opens", args);
+
+  const auto users = bench::user_sweep(args);
+  const double paper[5][4] = {{0.070, 1.344, 7.028, 15.525},
+                              {0.000, 0.448, 3.825, 11.087},
+                              {0.000, 0.310, 4.065, 11.236},
+                              {0.000, 0.483, 3.604, 11.005},
+                              {0.000, 0.345, 4.045, 11.038}};
+
+  std::vector<std::string> header{"(a,b,g)"};
+  for (const std::size_t u : users) header.push_back(std::to_string(u) + " users");
+  AsciiTable table{"Table III (measured; paper value in brackets)"};
+  table.set_header(header);
+  CsvWriter csv = bench::open_csv(args, {"policy", "users", "fail_rate"});
+
+  const auto policies = core::PolicyWeights::paper_set();
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    std::vector<std::string> row{policies[pi].to_string()};
+    for (const std::size_t u : users) {
+      exp::ExperimentParams params;
+      params.users = u;
+      params.mode = core::AllocationMode::kFirm;
+      params.policy = policies[pi];
+      const exp::ExperimentResult r = bench::run(args, params);
+      const std::size_t ui = u == 64 ? 0 : u == 128 ? 1 : u == 192 ? 2 : 3;
+      row.push_back(format_percent(r.fail_rate) + " [" + format_double(paper[pi][ui], 3) +
+                    "%]");
+      csv.row({policies[pi].to_string(), std::to_string(u), format_double(r.fail_rate, 6)});
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# Regenerate the paper figures as PNGs from the bench CSV output.
+# Requires gnuplot. Usage: scripts/plot_figures.sh [build-dir] [out-dir]
+set -eu
+
+BUILD="${1:-build}"
+OUT="${2:-figures}"
+mkdir -p "$OUT"
+
+echo "running figure benches with CSV output..."
+"$BUILD"/bench/bench_fig4_overallocate_demo csv="$OUT/fig4.csv" > "$OUT/fig4.txt"
+"$BUILD"/bench/bench_fig5_aggregate_bandwidth csv="$OUT/fig5.csv" > "$OUT/fig5.txt"
+"$BUILD"/bench/bench_fig6_bandwidth_timeseries csv="$OUT/fig6.csv" > "$OUT/fig6.txt"
+"$BUILD"/bench/bench_fig7_per_rm_replication csv="$OUT/fig7.csv" > "$OUT/fig7.txt"
+
+if ! command -v gnuplot > /dev/null 2>&1; then
+  echo "gnuplot not found: CSVs are in $OUT/, plots skipped"
+  exit 0
+fi
+
+gnuplot <<EOF
+set datafile separator ','
+set terminal pngcairo size 900,540
+set key top left
+set grid
+
+# Fig. 4 — one RM's allocated bandwidth vs its cap (soft RT).
+set output '$OUT/fig4.png'
+set title 'Fig. 4 — over-allocate situation (soft real-time)'
+set xlabel 'time (s)'
+set ylabel 'bandwidth (Mbit/s)'
+plot '$OUT/fig4.csv' skip 1 using 1:2 with lines lw 2 title 'allocated', \
+     '$OUT/fig4.csv' skip 1 using 1:3 with lines lw 2 dt 2 title 'cap'
+
+# Fig. 5 — aggregated utilization of the large vs small RM groups.
+set output '$OUT/fig5.png'
+set title 'Fig. 5 — aggregated bandwidth utilization (firm real-time)'
+set ylabel 'aggregated bandwidth (MB/s)'
+plot '$OUT/fig5.csv' skip 1 using 2:(strcol(1) eq '(0,0,0)' ? \$3 : 1/0) with lines lw 2 title '(0,0,0) large', \
+     '$OUT/fig5.csv' skip 1 using 2:(strcol(1) eq '(0,0,0)' ? \$4 : 1/0) with lines lw 2 title '(0,0,0) small', \
+     '$OUT/fig5.csv' skip 1 using 2:(strcol(1) eq '(1,0,0)' ? \$3 : 1/0) with lines lw 2 title '(1,0,0) large', \
+     '$OUT/fig5.csv' skip 1 using 2:(strcol(1) eq '(1,0,0)' ? \$4 : 1/0) with lines lw 2 title '(1,0,0) small'
+
+# Fig. 6 — RM1/RM2 utilization over time per replication strategy.
+set output '$OUT/fig6.png'
+set title 'Fig. 6 — RM1 (large) and RM2 (small) bandwidth per strategy (soft RT)'
+set ylabel 'allocated bandwidth (Mbit/s)'
+plot '$OUT/fig6.csv' skip 1 using 2:(strcol(1) eq 'static' ? \$3 : 1/0) with lines title 'static RM1', \
+     '$OUT/fig6.csv' skip 1 using 2:(strcol(1) eq 'static' ? \$4 : 1/0) with lines title 'static RM2', \
+     '$OUT/fig6.csv' skip 1 using 2:(strcol(1) eq 'Rep(1,3)' ? \$3 : 1/0) with lines title 'Rep(1,3) RM1', \
+     '$OUT/fig6.csv' skip 1 using 2:(strcol(1) eq 'Rep(1,3)' ? \$4 : 1/0) with lines title 'Rep(1,3) RM2'
+
+# Fig. 7 — per-RM over-allocate ratio, static vs Rep(1,3).
+set output '$OUT/fig7.png'
+set title 'Fig. 7 — per-RM over-allocate ratio: static vs Rep(1,3)'
+set style data histograms
+set style histogram clustered
+set style fill solid 0.8
+set ylabel 'over-allocate ratio'
+set xtics rotate by -45
+plot '$OUT/fig7.csv' skip 1 using 2:xtic(1) title 'static', \
+     '' skip 1 using 3 title 'Rep(1,3)'
+EOF
+
+echo "figures written to $OUT/"

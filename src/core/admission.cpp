@@ -1,0 +1,20 @@
+#include "core/admission.hpp"
+
+namespace sqos::core {
+
+bool admits(AllocationMode mode, const BidInfo& bid, Bandwidth b_req) {
+  if (mode == AllocationMode::kSoft) return true;
+  return bid.b_rem_bps >= b_req.bps();
+}
+
+std::vector<std::size_t> filter_admissible(AllocationMode mode, const std::vector<BidInfo>& bids,
+                                           Bandwidth b_req) {
+  std::vector<std::size_t> out;
+  out.reserve(bids.size());
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    if (admits(mode, bids[i], b_req)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,22 @@
+// Admission control for the two allocation scenarios (§VI.A.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/bid.hpp"
+#include "core/qos_types.hpp"
+
+namespace sqos::core {
+
+/// Whether a candidate RM with the given bid may serve a request for `b_req`
+/// under `mode`: firm real-time requires B_rem >= B_req; soft real-time
+/// always admits.
+[[nodiscard]] bool admits(AllocationMode mode, const BidInfo& bid, Bandwidth b_req);
+
+/// Indices of the admissible candidates (order preserved).
+[[nodiscard]] std::vector<std::size_t> filter_admissible(AllocationMode mode,
+                                                         const std::vector<BidInfo>& bids,
+                                                         Bandwidth b_req);
+
+}  // namespace sqos::core

@@ -1,0 +1,21 @@
+#include "core/bid.hpp"
+
+#include <cmath>
+
+#include "core/trend_predictor.hpp"
+
+namespace sqos::core {
+
+BidInfo make_bid(const BidInputs& in) {
+  BidInfo bid;
+  bid.b_rem_bps = in.b_rem.bps();
+  bid.trend_bps = predict_trend_bps(in.b_used, in.reference, in.now);
+  bid.occupation_bias =
+      in.t_ocp <= SimTime::zero()
+          ? 1.0
+          : std::exp(-in.t_ocp_avg.as_seconds() / in.t_ocp.as_seconds());
+  bid.b_req_bps = in.b_req.bps();
+  return bid;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,39 @@
+// Bid construction on the RM side.
+//
+// In this system's ECNP variant every RM answers a CFP with a bid (it never
+// refuses, §III.B); the bid carries the RM's raw measurements and the DFSC
+// applies the (α, β, γ) policy weights. Splitting measurement (RM) from
+// scoring (client) matches the paper's design, where only the DFSC can
+// determine selection priorities.
+#pragma once
+
+#include "core/history_window.hpp"
+#include "core/occupation_tracker.hpp"
+#include "core/qos_types.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// The raw factors an RM includes in its bid response.
+struct BidInfo {
+  double b_rem_bps = 0.0;       // remaining allocatable bandwidth (α-factor)
+  double trend_bps = 0.0;       // historical trend prediction (β-factor)
+  double occupation_bias = 0.0; // e^(−T_ocp_avg / T_ocp) ∈ (0, 1] (γ-factor scale)
+  double b_req_bps = 0.0;       // echo of the requested bandwidth
+};
+
+/// Inputs the RM gathers to build a bid for one request.
+struct BidInputs {
+  Bandwidth b_rem;          // remaining bandwidth under the cap
+  Bandwidth b_used;         // bandwidth in use when the request arrives
+  WindowStats reference;    // historical reference window
+  SimTime now;              // bid timestamp (T_current)
+  Bandwidth b_req;          // requested bandwidth
+  SimTime t_ocp;            // occupation time of the requested file
+  SimTime t_ocp_avg;        // RM-average occupation time
+};
+
+/// Assemble the bid factors per §IV.
+[[nodiscard]] BidInfo make_bid(const BidInputs& in);
+
+}  // namespace sqos::core

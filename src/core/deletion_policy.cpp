@@ -1,0 +1,18 @@
+#include "core/deletion_policy.hpp"
+
+namespace sqos::core {
+
+bool should_delete_replica(const DeletionConfig& cfg, SimTime now, std::uint32_t replica_count,
+                           SimTime last_access, SimTime stored_at,
+                           bool is_replication_endpoint) {
+  if (!cfg.enabled) return false;
+  if (replica_count <= cfg.min_replicas) return false;
+  if (is_replication_endpoint) return false;
+  if (now - stored_at < cfg.min_age) return false;
+  // "Idle" is measured from the later of the replica's arrival and its last
+  // service: a never-accessed surplus replica ages from its creation.
+  const SimTime reference = last_access > stored_at ? last_access : stored_at;
+  return now - reference >= cfg.idle_threshold;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,53 @@
+// Replica-deletion (garbage-collection) policy — §III.B.
+//
+// "If the storage system only replicates data without deleting the redundant
+// replicas, the resource utilization will continuously downgrade. Thus, the
+// triggering condition of data deletion is used to determine when and how
+// the deletion operation is needed. If the threshold is set too low, it may
+// slacken the data deletion...; if it is set too high, too many operations
+// back and forth between data replication and deletion will result in
+// significant system overhead."
+//
+// The paper describes the trade-off but fixes no mechanism; this module
+// implements the natural one: a periodic scan deletes *surplus* replicas
+// (above the static floor) that have been idle past a threshold, with the
+// replication-round cooldown preventing replicate/delete thrash.
+#pragma once
+
+#include <cstdint>
+
+#include "util/sim_time.hpp"
+
+namespace sqos::core {
+
+struct DeletionConfig {
+  /// Master switch; off by default (the paper's experiments do not GC).
+  bool enabled = false;
+
+  /// A replica may be deleted only while the file keeps more than this many
+  /// replicas system-wide (the static-placement floor).
+  std::uint32_t min_replicas = 3;
+
+  /// Idle threshold: a replica qualifies when this RM has not served the
+  /// file for at least this long. The §III.B trade-off knob.
+  SimTime idle_threshold = SimTime::seconds(600.0);
+
+  /// Period of the per-RM deletion scan.
+  SimTime scan_interval = SimTime::seconds(60.0);
+
+  /// A replica younger than this is never deleted (prevents deleting a copy
+  /// the replication machinery just paid to create — the paper's
+  /// "operations back and forth" overhead).
+  SimTime min_age = SimTime::seconds(120.0);
+};
+
+/// Pure decision: may this RM delete its replica of a file now?
+///   `replica_count`  — current system-wide replica count of the file;
+///   `last_access`    — when this RM last served the file (zero = never);
+///   `stored_at`      — when the replica landed on this RM;
+///   `is_replication_endpoint` — RM currently sources/receives a copy.
+[[nodiscard]] bool should_delete_replica(const DeletionConfig& cfg, SimTime now,
+                                         std::uint32_t replica_count, SimTime last_access,
+                                         SimTime stored_at, bool is_replication_endpoint);
+
+}  // namespace sqos::core

@@ -1,0 +1,69 @@
+#include "core/destination_selector.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqos::core {
+namespace {
+
+std::vector<std::size_t> pick_random(const std::vector<DestinationCandidate>& candidates,
+                                     std::size_t count, Rng& rng) {
+  const auto order = rng.permutation(candidates.size());
+  std::vector<std::size_t> out;
+  out.reserve(std::min(count, candidates.size()));
+  for (std::size_t i = 0; i < order.size() && out.size() < count; ++i) {
+    out.push_back(candidates[order[i]].rm);
+  }
+  return out;
+}
+
+std::vector<std::size_t> pick_lbf(const std::vector<DestinationCandidate>& candidates,
+                                  std::size_t count, Rng& rng) {
+  Bandwidth max_bw = Bandwidth::zero();
+  for (const auto& c : candidates) max_bw = std::max(max_bw, c.initial_bandwidth);
+  std::vector<DestinationCandidate> largest;
+  for (const auto& c : candidates) {
+    if (c.initial_bandwidth == max_bw) largest.push_back(c);
+  }
+  return pick_random(largest, count, rng);
+}
+
+std::vector<std::size_t> pick_weighted(const std::vector<DestinationCandidate>& candidates,
+                                       std::size_t count, Rng& rng) {
+  std::vector<DestinationCandidate> pool = candidates;
+  std::vector<std::size_t> out;
+  out.reserve(std::min(count, candidates.size()));
+  while (!pool.empty() && out.size() < count) {
+    std::vector<double> weights;
+    weights.reserve(pool.size());
+    for (const auto& c : pool) weights.push_back(c.initial_bandwidth.bps());
+    double total = 0.0;
+    for (const double w : weights) total += w;
+    std::size_t pick = 0;
+    if (total <= 0.0) {
+      pick = rng.next_below(pool.size());  // degenerate: all-zero weights
+    } else {
+      pick = rng.weighted_index(weights);
+    }
+    out.push_back(pool[pick].rm);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_destinations(DestinationStrategy strategy,
+                                             const std::vector<DestinationCandidate>& candidates,
+                                             std::size_t count, Rng& rng) {
+  if (candidates.empty() || count == 0) return {};
+  switch (strategy) {
+    case DestinationStrategy::kRandom: return pick_random(candidates, count, rng);
+    case DestinationStrategy::kLargestBandwidthFirst: return pick_lbf(candidates, count, rng);
+    case DestinationStrategy::kWeighted: return pick_weighted(candidates, count, rng);
+  }
+  assert(false && "unknown destination strategy");
+  return {};
+}
+
+}  // namespace sqos::core

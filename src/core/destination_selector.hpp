@@ -1,0 +1,32 @@
+// Destination selection strategies — the "where to replicate (to)" half
+// (§V source rule 1, §VI.C.3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/replication_config.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// A candidate destination: an opaque RM index plus its initial (dispatched)
+/// bandwidth, which LBF and Weighted use.
+struct DestinationCandidate {
+  std::size_t rm = 0;
+  Bandwidth initial_bandwidth;
+};
+
+/// Pick up to `count` distinct destinations from `candidates` using the
+/// strategy. Fewer than `count` are returned when candidates run out.
+///  - Random: uniform without replacement (paper default).
+///  - LBF: only RMs whose initial bandwidth equals the maximum among the
+///    candidates (randomly ordered among those, e.g. RM1/RM9).
+///  - Weighted: sampled without replacement with probability proportional to
+///    initial bandwidth.
+[[nodiscard]] std::vector<std::size_t> select_destinations(
+    DestinationStrategy strategy, const std::vector<DestinationCandidate>& candidates,
+    std::size_t count, Rng& rng);
+
+}  // namespace sqos::core

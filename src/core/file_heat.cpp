@@ -1,0 +1,48 @@
+#include "core/file_heat.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqos::core {
+
+void FileHeat::record_access(std::uint64_t file) {
+  ++counts_[file];
+  ++total_;
+}
+
+void FileHeat::forget(std::uint64_t file) {
+  const auto it = counts_.find(file);
+  if (it == counts_.end()) return;
+  total_ -= it->second;
+  counts_.erase(it);
+}
+
+std::uint64_t FileHeat::accesses(std::uint64_t file) const {
+  const auto it = counts_.find(file);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> FileHeat::ranking() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranked{counts_.begin(), counts_.end()};
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return ranked;
+}
+
+std::vector<std::uint64_t> FileHeat::busiest_cover(double cover_fraction) const {
+  assert(cover_fraction >= 0.0 && cover_fraction <= 1.0);
+  std::vector<std::uint64_t> out;
+  if (total_ == 0) return out;
+  const double target = cover_fraction * static_cast<double>(total_);
+  double cum = 0.0;
+  for (const auto& [file, count] : ranking()) {
+    out.push_back(file);
+    cum += static_cast<double>(count);
+    if (cum >= target) break;
+  }
+  return out;
+}
+
+}  // namespace sqos::core

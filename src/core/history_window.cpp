@@ -1,0 +1,38 @@
+#include "core/history_window.hpp"
+
+#include <cassert>
+
+namespace sqos::core {
+
+void TwoQueueHistory::exchange(SimTime now) {
+  rec_.t_end = now;
+  rec_.valid = rec_.samples > 0 || rec_open_;
+  ref_ = rec_;
+  rec_ = WindowStats{};
+  rec_.t_start = now;
+  rec_open_ = false;
+  ++exchanges_;
+}
+
+void TwoQueueHistory::maybe_exchange(SimTime now) {
+  if (!rec_open_) return;
+  if (now - rec_.t_start >= params_.expiry) exchange(now);
+}
+
+void TwoQueueHistory::record(SimTime now, Bytes accessed) {
+  maybe_exchange(now);
+  if (!rec_open_) {
+    rec_.t_start = now;
+    rec_open_ = true;
+  }
+  rec_.fs_total += accessed;
+  ++rec_.samples;
+  if (rec_.samples >= params_.sample_limit) exchange(now);
+}
+
+WindowStats TwoQueueHistory::reference(SimTime now) {
+  maybe_exchange(now);
+  return ref_;
+}
+
+}  // namespace sqos::core

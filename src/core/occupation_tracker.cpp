@@ -1,0 +1,32 @@
+#include "core/occupation_tracker.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqos::core {
+
+void OccupationTracker::add_file(SimTime t_ocp) {
+  assert(!t_ocp.is_negative());
+  total_seconds_ += t_ocp.as_seconds();
+  ++count_;
+}
+
+void OccupationTracker::remove_file(SimTime t_ocp) {
+  assert(count_ > 0);
+  total_seconds_ -= t_ocp.as_seconds();
+  if (total_seconds_ < 0.0) total_seconds_ = 0.0;  // float drift guard
+  --count_;
+}
+
+SimTime OccupationTracker::average() const {
+  if (count_ == 0) return SimTime::zero();
+  return SimTime::seconds(total_seconds_ / static_cast<double>(count_));
+}
+
+double OccupationTracker::bias(SimTime t_ocp) const {
+  const double avg = average().as_seconds();
+  if (t_ocp <= SimTime::zero()) return 1.0;
+  return std::exp(-avg / t_ocp.as_seconds());
+}
+
+}  // namespace sqos::core

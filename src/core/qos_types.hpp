@@ -1,0 +1,39 @@
+// Shared QoS vocabulary types.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// Bandwidth-allocation scenario (§VI.A.1).
+enum class AllocationMode : std::uint8_t {
+  /// `open` fails when no replica-holding RM can supply B_req; metric = fail
+  /// rate.
+  kFirm,
+  /// Bandwidth is always allocated even beyond the cap; metric =
+  /// over-allocate ratio R_OA.
+  kSoft,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(AllocationMode m) {
+  return m == AllocationMode::kFirm ? "firm" : "soft";
+}
+
+/// One storage access request as seen by the QoS machinery.
+struct AccessRequest {
+  std::uint64_t file = 0;   // opaque file key
+  Bytes size;               // full file size
+  Bandwidth required;       // B_req — the fixed bandwidth to assure
+  SimTime arrival;          // request arrival timestamp
+};
+
+/// Occupation time of a request: how long the transfer holds its bandwidth.
+[[nodiscard]] inline SimTime occupation_time(const AccessRequest& r) {
+  return r.required.time_to_transfer(r.size);
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,85 @@
+// Dynamic-replication configuration (§V, §VI.C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// How replication destinations are picked from the candidate list (§VI.C.3).
+enum class DestinationStrategy : std::uint8_t {
+  kRandom = 0,               // default in all experiments
+  kLargestBandwidthFirst,    // only the largest-bandwidth RMs (RM1/RM9)
+  kWeighted,                 // probability proportional to initial bandwidth
+};
+
+[[nodiscard]] constexpr std::string_view to_string(DestinationStrategy s) {
+  switch (s) {
+    case DestinationStrategy::kRandom: return "random";
+    case DestinationStrategy::kLargestBandwidthFirst: return "lbf";
+    case DestinationStrategy::kWeighted: return "weighted";
+  }
+  return "unknown";
+}
+
+struct ReplicationConfig {
+  /// Master switch: false = static replication only.
+  bool enabled = false;
+
+  /// Rep(N_REP, N_MAXR): copies per replication round and the replica-count
+  /// upper bound. The paper's strategies: Baseline = Rep(3,8), Rep(1,8),
+  /// Rep(1,3).
+  std::uint32_t n_rep = 1;
+  std::uint32_t n_maxr = 3;
+
+  /// Trigger threshold B_TH as a fraction of the RM's dispatched bandwidth
+  /// (20 % in the experiments).
+  double trigger_threshold = 0.20;
+
+  /// An RM may act as replication source at most once per cooldown (60 s).
+  SimTime source_cooldown = SimTime::seconds(60.0);
+
+  /// Control-plane deadline for one replication round: if the MM queries or
+  /// destination responses are lost (partition, crash), the source role is
+  /// released after this long instead of wedging forever. In-flight copies
+  /// keep running and complete normally.
+  SimTime round_timeout = SimTime::seconds(120.0);
+
+  /// Busiest-file cover fraction selecting the N_BF set (50 %).
+  double busiest_cover = 0.50;
+
+  /// Reserve multiplier K: B_REV = K × bandwidth of the designated file (2).
+  double reserve_multiplier = 2.0;
+
+  /// Fixed replication transfer speed (1.8 Mbit/s).
+  Bandwidth transfer_speed = Bandwidth::mbps(1.8);
+
+  DestinationStrategy destination = DestinationStrategy::kRandom;
+
+  [[nodiscard]] std::string strategy_name() const {
+    if (!enabled) return "static";
+    return "Rep(" + std::to_string(n_rep) + "," + std::to_string(n_maxr) + ")";
+  }
+
+  /// The paper's four §VI.C strategies.
+  [[nodiscard]] static ReplicationConfig static_only() { return {}; }
+  [[nodiscard]] static ReplicationConfig baseline() {
+    ReplicationConfig c;
+    c.enabled = true;
+    c.n_rep = 3;
+    c.n_maxr = 8;
+    return c;
+  }
+  [[nodiscard]] static ReplicationConfig rep(std::uint32_t n_rep, std::uint32_t n_maxr) {
+    ReplicationConfig c;
+    c.enabled = true;
+    c.n_rep = n_rep;
+    c.n_maxr = n_maxr;
+    return c;
+  }
+};
+
+}  // namespace sqos::core

@@ -1,0 +1,50 @@
+#include "core/replication_planner.hpp"
+
+#include <cassert>
+
+namespace sqos::core {
+
+RepCountPlan plan_rep_count(std::uint32_t n_rep_config, std::uint32_t n_cur,
+                            std::uint32_t n_maxr) {
+  assert(n_cur >= 1 && "source holds a replica, so N_CUR >= 1");
+  assert(n_rep_config >= 1);
+  RepCountPlan plan;
+  if (n_rep_config + n_cur > n_maxr) {
+    // N_MAXR − (N_CUR − 1) >= 1 when n_cur <= n_maxr: replication is "at the
+    // very least processed one time" and the source replica is deleted to
+    // restore the bound. If the bound was lowered below the current replica
+    // count (config change mid-flight), still migrate exactly one copy.
+    const std::int64_t clamped = static_cast<std::int64_t>(n_maxr) -
+                                 (static_cast<std::int64_t>(n_cur) - 1);
+    plan.n_rep = clamped < 1 ? 1u : static_cast<std::uint32_t>(clamped);
+    plan.delete_self = true;
+  } else {
+    plan.n_rep = n_rep_config;
+    plan.delete_self = false;
+  }
+  assert(plan.n_rep >= 1);
+  return plan;
+}
+
+Bandwidth reservation_for(const ReplicationConfig& cfg, Bandwidth file_bandwidth) {
+  return file_bandwidth * cfg.reserve_multiplier;
+}
+
+bool source_eligible(const ReplicationConfig& cfg, Bandwidth file_bandwidth) {
+  return reservation_for(cfg, file_bandwidth) >= cfg.transfer_speed;
+}
+
+DestinationVerdict destination_verdict(const ReplicationConfig& cfg, bool has_replica,
+                                       Bandwidth b_rem, Bandwidth cap,
+                                       Bandwidth file_bandwidth) {
+  if (has_replica) return DestinationVerdict::kRejectAlreadyHasReplica;
+  if (b_rem < reservation_for(cfg, file_bandwidth)) {
+    return DestinationVerdict::kRejectBelowReserve;
+  }
+  if (b_rem.bps() < cfg.trigger_threshold * cap.bps()) {
+    return DestinationVerdict::kRejectBelowTriggerThreshold;
+  }
+  return DestinationVerdict::kAccept;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,53 @@
+// Source-endpoint planning rules — the "where to replicate (source)" half (§V).
+#pragma once
+
+#include <cstdint>
+
+#include "core/replication_config.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// Result of clamping the per-round copy count against the replica bound.
+struct RepCountPlan {
+  std::uint32_t n_rep = 0;    // copies to make this round (always >= 1)
+  bool delete_self = false;   // the source deletes its own replica afterwards
+};
+
+/// Apply the paper's bound rule: if N_REP + N_CUR > N_MAXR then
+/// N_REP := N_MAXR − (N_CUR − 1) — dynamic replication is processed at least
+/// once, and exceeding the bound makes the source delete its own replica.
+/// `n_cur` must be >= 1 (the source itself holds a replica).
+[[nodiscard]] RepCountPlan plan_rep_count(std::uint32_t n_rep_config, std::uint32_t n_cur,
+                                          std::uint32_t n_maxr);
+
+/// The replication reserve for a designated file:
+/// B_REV = K × bandwidth of the designated file.
+[[nodiscard]] Bandwidth reservation_for(const ReplicationConfig& cfg, Bandwidth file_bandwidth);
+
+/// Source-eligibility test (§V): "each RM should reserve B_REV as the
+/// available bandwidth for transferring the replicated data, and the RM will
+/// be selected as source only when B_REV >= K × bandwidth of the designated
+/// file". The reserve is a dedicated replication lane outside the
+/// stream-allocation budget (otherwise an RM below the B_TH trigger — the
+/// only RM that ever replicates — could never afford the reserve and §V
+/// would be dead code); the file qualifies when its reserve covers the fixed
+/// replication transfer speed.
+[[nodiscard]] bool source_eligible(const ReplicationConfig& cfg, Bandwidth file_bandwidth);
+
+/// Destination-endpoint admission (§V "where", destination side): the
+/// destination rejects when it already holds the replica, when its remaining
+/// bandwidth is below B_REV (which could incur nested replication), or when
+/// it is below its own trigger threshold B_TH.
+enum class DestinationVerdict : std::uint8_t {
+  kAccept = 0,
+  kRejectAlreadyHasReplica,
+  kRejectBelowReserve,
+  kRejectBelowTriggerThreshold,
+};
+
+[[nodiscard]] DestinationVerdict destination_verdict(const ReplicationConfig& cfg,
+                                                     bool has_replica, Bandwidth b_rem,
+                                                     Bandwidth cap, Bandwidth file_bandwidth);
+
+}  // namespace sqos::core

@@ -1,0 +1,34 @@
+#include "core/replication_trigger.hpp"
+
+#include <cassert>
+
+namespace sqos::core {
+
+bool ReplicationTrigger::should_trigger(SimTime now, Bandwidth b_rem, Bandwidth cap) const {
+  if (!cfg_->enabled) return false;
+  if (b_rem.bps() >= cfg_->trigger_threshold * cap.bps()) return false;
+  if (is_source() || is_destination()) return false;
+  if (ever_replicated_ && now - last_replication_ < cfg_->source_cooldown) return false;
+  return true;
+}
+
+void ReplicationTrigger::begin_source(SimTime now) {
+  ++source_active_;
+  last_replication_ = now;
+  ever_replicated_ = true;
+}
+
+void ReplicationTrigger::end_source(SimTime now) {
+  assert(source_active_ > 0);
+  --source_active_;
+  last_replication_ = now;
+}
+
+void ReplicationTrigger::begin_destination() { ++destination_active_; }
+
+void ReplicationTrigger::end_destination() {
+  assert(destination_active_ > 0);
+  --destination_active_;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,45 @@
+#include "core/selection_policy.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace sqos::core {
+
+std::string PolicyWeights::to_string() const {
+  char buf[64];
+  const auto compact = [](double v) { return v == std::floor(v) && v >= 0 && v < 10; };
+  if (compact(alpha) && compact(beta) && compact(gamma)) {
+    std::snprintf(buf, sizeof buf, "(%d,%d,%d)", static_cast<int>(alpha), static_cast<int>(beta),
+                  static_cast<int>(gamma));
+  } else {
+    std::snprintf(buf, sizeof buf, "(%.2f,%.2f,%.2f)", alpha, beta, gamma);
+  }
+  return buf;
+}
+
+double SelectionPolicy::score(const BidInfo& bid) const {
+  return w_.alpha * bid.b_rem_bps + w_.beta * bid.trend_bps -
+         w_.gamma * (bid.occupation_bias * bid.b_req_bps);
+}
+
+std::optional<std::size_t> SelectionPolicy::choose(const std::vector<BidInfo>& bids,
+                                                   Rng& rng) const {
+  if (bids.empty()) return std::nullopt;
+  if (w_.is_random()) return static_cast<std::size_t>(rng.next_below(bids.size()));
+
+  double best = -std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> ties;
+  for (std::size_t i = 0; i < bids.size(); ++i) {
+    const double s = score(bids[i]);
+    if (s > best) {
+      best = s;
+      ties.assign(1, i);
+    } else if (s == best) {
+      ties.push_back(i);
+    }
+  }
+  return ties[ties.size() == 1 ? 0 : rng.next_below(ties.size())];
+}
+
+}  // namespace sqos::core

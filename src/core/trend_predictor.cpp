@@ -1,0 +1,25 @@
+#include "core/trend_predictor.hpp"
+
+#include <algorithm>
+
+namespace sqos::core {
+
+double predict_trend_bps(Bandwidth b_used, const WindowStats& reference, SimTime now) {
+  if (!reference.valid) return 0.0;
+  const double t_threshold = reference.t_threshold().as_seconds();
+  if (t_threshold <= 0.0) return 0.0;
+
+  const double historical_bps = static_cast<double>(reference.fs_total.count()) / t_threshold;
+  const double median_bias = (b_used.bps() - historical_bps) / 2.0;
+
+  // T_distance = T_current - T_end: age of the reference. A fresh reference
+  // (distance <= threshold) is taken at full weight; staleness decays the
+  // contribution linearly and the min() clamps the scale factor to <= 1 so
+  // diverse request patterns cannot inflate the term (§IV).
+  const double t_distance = (now - reference.t_end).as_seconds();
+  const double staleness = t_distance <= 0.0 ? 1.0 : std::min(1.0, t_threshold / t_distance);
+
+  return median_bias * staleness;
+}
+
+}  // namespace sqos::core

@@ -1,0 +1,22 @@
+// Historical trend prediction — the β-factor of the bid equation (§IV).
+//
+// Predicts the direction of bandwidth utilization when a request arrives by
+// comparing the bandwidth currently in use (B_used) against the average
+// utilization of the historical reference window (FS_total / T_threshold).
+// Halving biases the prediction to the median of current and historical
+// utilization, and min(1, T_threshold / T_distance) discounts stale history
+// (the older the reference window, the less it is worth).
+#pragma once
+
+#include "core/history_window.hpp"
+#include "util/units.hpp"
+
+namespace sqos::core {
+
+/// Trend in bytes/s; positive = utilization rising relative to the window,
+/// negative = falling. Per the paper the factor enters the bid "with a plus
+/// sign": Bid += beta * trend. Returns 0 while no valid history exists.
+[[nodiscard]] double predict_trend_bps(Bandwidth b_used, const WindowStats& reference,
+                                       SimTime now);
+
+}  // namespace sqos::core

@@ -1,0 +1,191 @@
+#include "dfs/cluster.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace sqos::dfs {
+
+Cluster::Cluster(ClusterConfig config, FileDirectory directory)
+    : config_{std::move(config)}, directory_{std::move(directory)} {}
+
+Result<std::unique_ptr<Cluster>> Cluster::build(ClusterConfig config, FileDirectory directory) {
+  if (config.machines.empty()) return Status::invalid_argument("no machines configured");
+  if (config.rms.empty()) return Status::invalid_argument("no RMs configured");
+  if (config.client_count == 0) return Status::invalid_argument("no clients configured");
+  for (const RmSpec& rm : config.rms) {
+    if (rm.machine >= config.machines.size()) {
+      return Status::invalid_argument("RM '" + rm.name + "' placed on unknown machine");
+    }
+    if (!rm.bandwidth.is_positive()) {
+      return Status::invalid_argument("RM '" + rm.name + "' has no bandwidth");
+    }
+  }
+
+  auto cluster = std::unique_ptr<Cluster>(new Cluster(std::move(config), std::move(directory)));
+  const Status s = cluster->construct();
+  if (!s.is_ok()) return s;
+  return cluster;
+}
+
+Status Cluster::construct() {
+  sim_ = std::make_unique<sim::Simulator>();
+  const Rng root{config_.seed};
+  net_ = std::make_unique<net::Network>(
+      *sim_, net::LatencyModel{config_.latency, root.fork("latency")});
+
+  // Physical machines.
+  devices_.reserve(config_.machines.size());
+  for (const MachineSpec& m : config_.machines) {
+    auto device = std::make_unique<storage::BlockDevice>(m.name, m.sustained);
+    device->set_allow_oversubscribe(config_.allow_oversubscribe);
+    devices_.push_back(std::move(device));
+  }
+
+  // Initialization order (§III.B): the MM comes up first (one shard per
+  // configured DHT partition)...
+  if (config_.mm_shards == 0) return Status::invalid_argument("mm_shards must be >= 1");
+  mm_ = std::make_unique<MetadataDirectory>(*net_, config_.mm_shards);
+
+  // ...then the RMs come up (their registration messages are scheduled by
+  // start())...
+  rms_.reserve(config_.rms.size());
+  for (const RmSpec& spec : config_.rms) {
+    auto group = devices_[spec.machine]->create_group(spec.name, spec.bandwidth);
+    if (!group.is_ok()) return group.status();
+
+    ResourceManager::Params params;
+    params.name = spec.name;
+    params.disk_capacity = spec.disk_capacity;
+    params.history = config_.history;
+    rms_.push_back(std::make_unique<ResourceManager>(net_->register_node(spec.name), params,
+                                                     *group.value(), *sim_, *net_, directory_,
+                                                     config_.replication));
+  }
+
+  std::vector<ResourceManager*> rm_ptrs;
+  rm_ptrs.reserve(rms_.size());
+  for (auto& rm : rms_) rm_ptrs.push_back(rm.get());
+
+  agent_ = std::make_unique<ReplicationAgent>(*sim_, *net_, *mm_, directory_,
+                                              config_.replication, root.fork("replication"));
+  agent_->attach_rms(rm_ptrs);
+
+  gc_ = std::make_unique<GarbageCollector>(*sim_, *net_, *mm_, config_.deletion);
+  gc_->attach_rms(rm_ptrs);
+
+  // ...and the DFSCs are launched last to take over the storage system.
+  clients_.reserve(config_.client_count);
+  for (std::size_t i = 0; i < config_.client_count; ++i) {
+    DfsClient::Params params;
+    params.name = "DFSC" + std::to_string(i + 1);
+    params.mode = config_.mode;
+    params.policy = config_.policy;
+    params.negotiation = config_.negotiation == NegotiationModel::kEcnp
+                             ? DfsClient::Negotiation::kEcnp
+                             : DfsClient::Negotiation::kCnp;
+    params.bid_timeout = config_.bid_timeout;
+    params.holder_cache_ttl = config_.holder_cache_ttl;
+    auto client = std::make_unique<DfsClient>(net_->register_node(params.name), params, *sim_,
+                                              *net_, *mm_, directory_,
+                                              root.fork("client-" + std::to_string(i)));
+    client->attach_rms(rm_ptrs);
+    clients_.push_back(std::move(client));
+  }
+  return Status::ok();
+}
+
+void Cluster::start() {
+  // Each RM registers its managed resources with every MM shard, in
+  // arbitrary order (§III.B); the fabric's latency jitter provides the
+  // arbitrariness. Shards need the full resource list; per-file replica
+  // entries are only stored on the owning shard.
+  for (auto& rm : rms_) {
+    const RegisterMsg msg = rm->make_register_msg();
+    for (std::size_t s = 0; s < mm_->shard_count(); ++s) {
+      MetadataManager& shard = mm_->shard(s);
+      net_->send(rm->node_id(), shard.node_id(), net::MessageKind::kRegister,
+                 msg.estimated_size(), [this, &shard, msg] {
+                   RegisterMsg scoped = msg;
+                   if (mm_->shard_count() > 1) {
+                     // Keep only the files this shard owns.
+                     std::erase_if(scoped.stored_files, [this, &shard](FileId f) {
+                       return &mm_->shard_for(f) != &shard;
+                     });
+                   }
+                   shard.handle_register(scoped);
+                   net_->send(shard.node_id(), msg.rm, net::MessageKind::kRegisterAck,
+                              message_size(1), [] { /* ack received */ });
+                 });
+    }
+  }
+}
+
+void Cluster::start_resource_refresh(SimTime interval, SimTime until) {
+  assert(interval > SimTime::zero());
+  for (SimTime t = sim_->now() + interval; t <= until; t += interval) {
+    sim_->schedule_at(t, [this] {
+      for (auto& rm : rms_) {
+        if (!rm->is_online()) continue;
+        const RegisterMsg msg = rm->make_register_msg();
+        for (std::size_t s = 0; s < mm_->shard_count(); ++s) {
+          MetadataManager& shard = mm_->shard(s);
+          net_->send(rm->node_id(), shard.node_id(), net::MessageKind::kResourceUpdate,
+                     msg.estimated_size(), [this, &shard, msg] {
+                       RegisterMsg scoped = msg;
+                       if (mm_->shard_count() > 1) {
+                         std::erase_if(scoped.stored_files, [this, &shard](FileId f) {
+                           return &mm_->shard_for(f) != &shard;
+                         });
+                       }
+                       shard.handle_resource_update(scoped);
+                     });
+        }
+      }
+    });
+  }
+}
+
+void Cluster::fail_rm(std::size_t rm_index) {
+  assert(rm_index < rms_.size());
+  rms_[rm_index]->fail();
+}
+
+void Cluster::recover_rm(std::size_t rm_index) {
+  assert(rm_index < rms_.size());
+  ResourceManager& rm = *rms_[rm_index];
+  rm.recover();
+  const RegisterMsg msg = rm.make_register_msg();
+  for (std::size_t s = 0; s < mm_->shard_count(); ++s) {
+    MetadataManager& shard = mm_->shard(s);
+    net_->send(rm.node_id(), shard.node_id(), net::MessageKind::kRegister, msg.estimated_size(),
+               [this, &shard, msg] {
+                 RegisterMsg scoped = msg;
+                 if (mm_->shard_count() > 1) {
+                   std::erase_if(scoped.stored_files, [this, &shard](FileId f) {
+                     return &mm_->shard_for(f) != &shard;
+                   });
+                 }
+                 shard.handle_register(scoped);
+                 net_->send(shard.node_id(), msg.rm, net::MessageKind::kRegisterAck,
+                            message_size(1), [] {});
+               });
+  }
+}
+
+Status Cluster::place_replica(std::size_t rm_index, FileId file) {
+  assert(rm_index < rms_.size());
+  const Status s = rms_[rm_index]->place_replica(file);
+  if (!s.is_ok()) return s;
+  mm_->bootstrap_replica(rms_[rm_index]->node_id(), file);
+  return Status::ok();
+}
+
+Bandwidth Cluster::total_allocated() const {
+  Bandwidth total;
+  for (const auto& rm : rms_) total += rm->allocated();
+  return total;
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,63 @@
+// Cluster topology & behaviour configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/deletion_policy.hpp"
+#include "core/history_window.hpp"
+#include "core/qos_types.hpp"
+#include "core/replication_config.hpp"
+#include "core/selection_policy.hpp"
+#include "net/latency_model.hpp"
+#include "util/units.hpp"
+
+namespace sqos::dfs {
+
+/// One physical machine: a local disk with a sustained bandwidth that gets
+/// dispatched to the VMs (RMs) placed on it via blkio caps.
+struct MachineSpec {
+  std::string name;
+  Bandwidth sustained = Bandwidth::mbytes_per_sec(16.0);
+};
+
+/// One resource-manager VM.
+struct RmSpec {
+  std::string name;                       // "RM1" ..
+  Bandwidth bandwidth;                    // dispatched blkio cap
+  Bytes disk_capacity = Bytes::gib(16.0);
+  std::size_t machine = 0;                // index into ClusterConfig::machines
+};
+
+enum class NegotiationModel : std::uint8_t { kEcnp, kCnp };
+
+struct ClusterConfig {
+  std::vector<MachineSpec> machines;
+  std::vector<RmSpec> rms;
+  std::size_t client_count = 1;
+
+  /// Metadata-manager shards on the consistent-hash ring (§VI.A's DHT note);
+  /// 1 = the paper's single MM.
+  std::size_t mm_shards = 1;
+
+  core::AllocationMode mode = core::AllocationMode::kFirm;
+  core::PolicyWeights policy = core::PolicyWeights::p100();
+  NegotiationModel negotiation = NegotiationModel::kEcnp;
+  core::ReplicationConfig replication;
+  core::DeletionConfig deletion;
+  core::HistoryParams history;
+  net::LatencyModel::Params latency;
+
+  /// Client negotiation deadline (see DfsClient::Params::bid_timeout).
+  SimTime bid_timeout = SimTime::seconds(2.0);
+
+  /// Client holder-cache TTL (see DfsClient::Params::holder_cache_ttl);
+  /// zero = the paper's always-query behaviour.
+  SimTime holder_cache_ttl = SimTime::zero();
+
+  std::uint64_t seed = 1;
+  bool allow_oversubscribe = false;
+};
+
+}  // namespace sqos::dfs

@@ -1,0 +1,631 @@
+#include "dfs/dfs_client.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace sqos::dfs {
+
+DfsClient::DfsClient(net::NodeId id, Params params, sim::Simulator& simulator,
+                     net::Network& network, MetadataDirectory& mm,
+                     const FileDirectory& directory, Rng rng)
+    : id_{id},
+      params_{std::move(params)},
+      sim_{simulator},
+      net_{network},
+      mm_{mm},
+      directory_{directory},
+      policy_{params_.policy},
+      rng_{std::move(rng)} {}
+
+void DfsClient::attach_rms(const std::vector<ResourceManager*>& rms) {
+  for (ResourceManager* rm : rms) {
+    assert(rm != nullptr);
+    rms_.emplace(rm->node_id().value(), rm);
+    all_rms_.push_back(rm->node_id());
+  }
+}
+
+ResourceManager* DfsClient::rm_by_node(net::NodeId id) const {
+  const auto it = rms_.find(id.value());
+  return it == rms_.end() ? nullptr : it->second;
+}
+
+void DfsClient::stream_file(FileId file, Callback done) {
+  OpenContext ctx;
+  ctx.file = file;
+  ctx.required = directory_.get(file).bitrate;
+  ctx.explicit_session = false;
+  ctx.done = std::move(done);
+  start_negotiation(next_open_id_++, std::move(ctx));
+}
+
+void DfsClient::open(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  OpenContext ctx;
+  ctx.file = file;
+  ctx.required = directory_.get(file).bitrate;
+  ctx.explicit_session = true;
+  ctx.opened = std::move(opened);
+  start_negotiation(next_open_id_++, std::move(ctx));
+}
+
+void DfsClient::open_write(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  OpenContext ctx;
+  ctx.file = file;
+  ctx.required = directory_.get(file).bitrate;
+  ctx.explicit_session = true;
+  ctx.write_session = true;
+  ctx.opened = std::move(opened);
+  // The CNP broadcast path reaches every RM, which is exactly the candidate
+  // set a fresh file needs; under ECNP the MM's holder query would return
+  // nothing, so force the broadcast exploration for write sessions.
+  ++counters_.opens_attempted;
+  ctx.started = sim_.now();
+  const std::uint64_t open_id = next_open_id_++;
+  opens_.emplace(open_id, std::move(ctx));
+  send_cfps(open_id, all_rms_);
+}
+
+void DfsClient::write_file(FileId file, std::size_t replicas, Callback done) {
+  ++counters_.writes_attempted;
+  const FileMeta& meta = directory_.get(file);
+  const std::uint64_t write_id = next_open_id_++;
+
+  WriteContext ctx;
+  ctx.file = file;
+  ctx.required = meta.bitrate;
+  ctx.size = meta.size;
+  ctx.replicas = replicas == 0 ? 1 : replicas;
+  ctx.done = std::move(done);
+  writes_.emplace(write_id, std::move(ctx));
+
+  // Exploration deadline: an unreachable matchmaker fails the write.
+  writes_.at(write_id).timeout_event =
+      sim_.schedule_after(params_.bid_timeout, [this, write_id] {
+        const auto it = writes_.find(write_id);
+        if (it == writes_.end() || it->second.expected_bids > 0 || it->second.evaluated) return;
+        ++counters_.bid_timeouts;
+        ++counters_.writes_failed;
+        WriteContext failed = std::move(it->second);
+        writes_.erase(it);
+        if (failed.done) failed.done(Status::unavailable("matchmaker unreachable"));
+      });
+
+  // Exploration: the owning shard's non-holder list — for a fresh file,
+  // every registered RM — are the placement candidates.
+  const net::NodeId mm_node = mm_.node_for(file);
+  MetadataManager& shard = mm_.shard_for(file);
+  net_.send(id_, mm_node, net::MessageKind::kReplicaListQuery,
+            ReplicaListQueryMsg::estimated_size(), [this, &shard, mm_node, write_id, file] {
+              const ReplicaListReplyMsg reply = shard.handle_replica_list_query(file);
+              std::vector<net::NodeId> candidates;
+              candidates.reserve(reply.non_holders.size());
+              for (const ReplicaHolderInfo& h : reply.non_holders) candidates.push_back(h.rm);
+              net_.send(mm_node, id_, net::MessageKind::kReplicaListReply,
+                        reply.estimated_size(), [this, write_id, candidates] {
+                          on_write_candidates(write_id, candidates);
+                        });
+            });
+}
+
+void DfsClient::on_write_candidates(std::uint64_t write_id,
+                                    const std::vector<net::NodeId>& candidates) {
+  const auto it = writes_.find(write_id);
+  if (it == writes_.end()) return;
+  sim_.cancel(it->second.timeout_event);
+  if (candidates.empty()) {
+    ++counters_.writes_failed;
+    WriteContext ctx = std::move(it->second);
+    writes_.erase(it);
+    if (ctx.done) ctx.done(Status::unavailable("no RM available for the write"));
+    return;
+  }
+
+  WriteContext& ctx = it->second;
+  ctx.expected_bids = candidates.size();
+  ctx.timeout_event = sim_.schedule_after(params_.bid_timeout, [this, write_id] {
+    const auto wit = writes_.find(write_id);
+    if (wit == writes_.end() || wit->second.evaluated) return;
+    ++counters_.bid_timeouts;
+    evaluate_write_bids(write_id);
+  });
+
+  CfpMsg cfp;
+  cfp.open_id = write_id;
+  cfp.file = ctx.file;
+  cfp.required = ctx.required;
+  for (const net::NodeId target : candidates) {
+    ResourceManager* rm = rm_by_node(target);
+    assert(rm != nullptr);
+    ++counters_.cfps_sent;
+    net_.send(id_, target, net::MessageKind::kCfp, CfpMsg::estimated_size(), [this, rm, cfp] {
+      if (!rm->is_online()) return;
+      const BidMsg bid = rm->handle_cfp(cfp);
+      net_.send(rm->node_id(), id_, net::MessageKind::kBid, BidMsg::estimated_size(),
+                [this, bid] { on_write_bid(bid.open_id, bid); });
+    });
+  }
+}
+
+void DfsClient::on_write_bid(std::uint64_t write_id, const BidMsg& bid) {
+  const auto it = writes_.find(write_id);
+  if (it == writes_.end() || it->second.evaluated) return;
+  ++counters_.bids_received;
+  it->second.bids.push_back(bid);
+  if (it->second.bids.size() == it->second.expected_bids) {
+    sim_.cancel(it->second.timeout_event);
+    evaluate_write_bids(write_id);
+  }
+}
+
+void DfsClient::evaluate_write_bids(std::uint64_t write_id) {
+  auto& ctx = writes_.at(write_id);
+  ctx.evaluated = true;
+
+  // Admissible placement targets: disk space for the replica, and — in firm
+  // real-time — the assured write bandwidth.
+  std::vector<BidMsg> candidates;
+  for (const BidMsg& b : ctx.bids) {
+    if (b.free_disk_bytes < static_cast<double>(ctx.size.count())) continue;
+    if (!core::admits(params_.mode, b.info, ctx.required)) continue;
+    candidates.push_back(b);
+  }
+  if (candidates.empty()) {
+    ++counters_.writes_failed;
+    const auto it = writes_.find(write_id);
+    WriteContext done_ctx = std::move(it->second);
+    writes_.erase(it);
+    if (done_ctx.done) {
+      done_ctx.done(Status::resource_exhausted("no RM can accept the written replica"));
+    }
+    return;
+  }
+
+  // Rank by policy score (random policy: random order) and take the best K.
+  if (policy_.weights().is_random()) {
+    const auto order = rng_.permutation(candidates.size());
+    std::vector<BidMsg> shuffled;
+    shuffled.reserve(candidates.size());
+    for (const std::size_t i : order) shuffled.push_back(candidates[i]);
+    candidates = std::move(shuffled);
+  } else {
+    std::sort(candidates.begin(), candidates.end(), [this](const BidMsg& a, const BidMsg& b) {
+      return policy_.score(a.info) > policy_.score(b.info);
+    });
+  }
+  ctx.ranked = std::move(candidates);
+  const std::size_t k = std::min(ctx.replicas, ctx.ranked.size());
+  ctx.pending_writes = k;
+  ctx.next_candidate = k;
+
+  // Copy the first-k targets out before dispatching: dispatch_write touches
+  // the context map.
+  std::vector<net::NodeId> first_targets;
+  first_targets.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) first_targets.push_back(ctx.ranked[i].rm);
+  for (const net::NodeId target : first_targets) dispatch_write(write_id, target);
+}
+
+void DfsClient::dispatch_write(std::uint64_t write_id, net::NodeId target) {
+  const auto it = writes_.find(write_id);
+  if (it == writes_.end()) return;
+  const WriteContext& ctx = it->second;
+  ResourceManager* rm = rm_by_node(target);
+  assert(rm != nullptr);
+
+  DataRequestMsg request;
+  request.open_id = write_id;
+  request.file = ctx.file;
+  request.rate = ctx.required;
+  request.firm = params_.mode == core::AllocationMode::kFirm;
+  request.auto_complete = true;
+  request.write = true;
+
+  // Per-copy deadline (lost request/completion counts as a rejection, which
+  // triggers the normal failover to the next-ranked candidate).
+  auto settled = std::make_shared<bool>(false);
+  const auto settle = [this, settled, target](std::uint64_t id, const DataCompleteMsg& m) {
+    if (*settled) return;
+    *settled = true;
+    on_write_complete(id, target, m);
+  };
+  const SimTime expected = ctx.required.time_to_transfer(ctx.size);
+  sim_.schedule_after(expected + params_.bid_timeout, [settle, request] {
+    DataCompleteMsg timed_out;
+    timed_out.open_id = request.open_id;
+    timed_out.file = request.file;
+    timed_out.accepted = false;
+    settle(timed_out.open_id, timed_out);
+  });
+
+  net_.send(id_, target, net::MessageKind::kDataRequest, DataRequestMsg::estimated_size(),
+            [this, rm, request, settle] {
+              if (!rm->is_online()) {
+                DataCompleteMsg refused;
+                refused.open_id = request.open_id;
+                refused.file = request.file;
+                refused.accepted = false;
+                net_.send(rm->node_id(), id_, net::MessageKind::kDataComplete,
+                          DataCompleteMsg::estimated_size(),
+                          [settle, refused] { settle(refused.open_id, refused); });
+                return;
+              }
+              rm->handle_data_request(id_, request,
+                                      [settle, write_id = request.open_id](
+                                          const DataCompleteMsg& m) { settle(write_id, m); });
+            });
+}
+
+void DfsClient::on_write_complete(std::uint64_t write_id, net::NodeId rm,
+                                  const DataCompleteMsg& msg) {
+  const auto it = writes_.find(write_id);
+  if (it == writes_.end()) return;
+  WriteContext& ctx = it->second;
+  if (msg.accepted) {
+    ++ctx.succeeded;
+    ++counters_.replicas_written;
+    // Commit the durable replica to the owning MM shard. The copy only
+    // counts as finished once the commit has landed (read-your-writes); if
+    // the commit is lost to a partition, the bookkeeping still completes on
+    // a deadline — the replica is durable and anti-entropy (resource
+    // refresh) will register it.
+    auto settled = std::make_shared<bool>(false);
+    const auto finish_one = [this, settled, write_id] {
+      if (*settled) return;
+      *settled = true;
+      const auto wit = writes_.find(write_id);
+      if (wit == writes_.end()) return;
+      assert(wit->second.pending_writes > 0);
+      if (--wit->second.pending_writes == 0) finish_write(write_id);
+    };
+    ReplicationDoneMsg commit;
+    commit.rm = rm;
+    commit.file = ctx.file;
+    MetadataManager& shard = mm_.shard_for(ctx.file);
+    net_.send(id_, mm_.node_for(ctx.file), net::MessageKind::kReplicationDone,
+              ReplicationDoneMsg::estimated_size(), [&shard, commit, finish_one] {
+                shard.handle_replication_done(commit);
+                finish_one();
+              });
+    sim_.schedule_after(params_.bid_timeout, finish_one);
+    return;
+  }
+  if (ctx.next_candidate < ctx.ranked.size()) {
+    // Failover: the target rejected (raced allocation/space, or crashed) —
+    // try the next-ranked candidate for this copy.
+    const net::NodeId next = ctx.ranked[ctx.next_candidate++].rm;
+    dispatch_write(write_id, next);
+    return;  // pending count unchanged; the copy is still in flight
+  }
+  assert(ctx.pending_writes > 0);
+  if (--ctx.pending_writes == 0) finish_write(write_id);
+}
+
+void DfsClient::finish_write(std::uint64_t write_id) {
+  const auto it = writes_.find(write_id);
+  WriteContext ctx = std::move(it->second);
+  writes_.erase(it);
+  if (ctx.succeeded == 0) {
+    ++counters_.writes_failed;
+    if (ctx.done) ctx.done(Status::resource_exhausted("every write replica was rejected"));
+    return;
+  }
+  if (ctx.done) ctx.done(Status::ok());
+}
+
+void DfsClient::release(std::uint64_t session) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end()) {
+    Log::warn("%s: release of unknown session %llu", params_.name.c_str(),
+              static_cast<unsigned long long>(session));
+    return;
+  }
+  const SessionInfo info = it->second;
+  sessions_.erase(it);
+  ResourceManager* rm = rm_by_node(info.rm);
+  assert(rm != nullptr);
+  ReleaseMsg msg;
+  msg.open_id = session;
+  msg.commit = !info.write;  // a plain release abandons a write session
+  net_.send(id_, info.rm, net::MessageKind::kRelease, ReleaseMsg::estimated_size(),
+            [this, rm, msg] {
+              if (rm->is_online()) rm->handle_release(id_, msg);
+            });
+}
+
+void DfsClient::release_write(std::uint64_t session, bool commit) {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || !it->second.write) {
+    Log::warn("%s: release_write of unknown write session %llu", params_.name.c_str(),
+              static_cast<unsigned long long>(session));
+    return;
+  }
+  const SessionInfo info = it->second;
+  sessions_.erase(it);
+  ResourceManager* rm = rm_by_node(info.rm);
+  assert(rm != nullptr);
+
+  ReleaseMsg msg;
+  msg.open_id = session;
+  msg.commit = commit;
+  net_.send(id_, info.rm, net::MessageKind::kRelease, ReleaseMsg::estimated_size(),
+            [this, rm, info, msg] {
+              if (!rm->is_online()) return;
+              rm->handle_release(id_, msg);
+              if (!msg.commit) return;
+              ++counters_.replicas_written;
+              // Register the durable replica with the owning MM shard.
+              ReplicationDoneMsg commit_msg;
+              commit_msg.rm = info.rm;
+              commit_msg.file = info.file;
+              MetadataManager& shard = mm_.shard_for(info.file);
+              net_.send(info.rm, mm_.node_for(info.file), net::MessageKind::kReplicationDone,
+                        ReplicationDoneMsg::estimated_size(), [&shard, commit_msg] {
+                          shard.handle_replication_done(commit_msg);
+                        });
+            });
+}
+
+void DfsClient::query_holders(FileId file,
+                              std::function<void(std::vector<net::NodeId>)> reply) {
+  // Per-file routing: the query goes to the shard owning this file on the
+  // consistent-hash ring (with one shard this is the paper's single MM).
+  const net::NodeId mm_node = mm_.node_for(file);
+  MetadataManager& shard = mm_.shard_for(file);
+  net_.send(id_, mm_node, net::MessageKind::kResourceQuery, ResourceQueryMsg::estimated_size(),
+            [this, &shard, mm_node, file, reply = std::move(reply)] {
+              const ResourceReplyMsg r = shard.handle_resource_query(file);
+              net_.send(mm_node, id_, net::MessageKind::kResourceReply, r.estimated_size(),
+                        [reply, holders = r.holders] { reply(holders); });
+            });
+}
+
+void DfsClient::start_negotiation(std::uint64_t open_id, OpenContext ctx) {
+  ++counters_.opens_attempted;
+  ctx.started = sim_.now();
+  opens_.emplace(open_id, std::move(ctx));
+
+  if (params_.negotiation == Negotiation::kCnp) {
+    // Plain CNP: no matchmaker — broadcast the CFP to every known RM.
+    send_cfps(open_id, all_rms_);
+    return;
+  }
+  // Holder cache: a repeat open of a recently explored file skips the MM
+  // round trip entirely.
+  const FileId cached_file = opens_.at(open_id).file;
+  if (params_.holder_cache_ttl > SimTime::zero()) {
+    const auto hit = holder_cache_.find(cached_file);
+    if (hit != holder_cache_.end() && hit->second.expires > sim_.now()) {
+      ++counters_.holder_cache_hits;
+      on_holders(open_id, hit->second.holders);
+      return;
+    }
+    ++counters_.holder_cache_misses;
+  }
+
+  // ECNP resource-exploration phase: ask the file's MM shard for the
+  // eligible RMs first. The exploration has its own deadline — an
+  // unreachable matchmaker (network partition) must fail the open, not hang
+  // it.
+  const FileId file = opens_.at(open_id).file;
+  opens_.at(open_id).timeout_event =
+      sim_.schedule_after(params_.bid_timeout, [this, open_id] {
+        const auto it = opens_.find(open_id);
+        if (it == opens_.end() || it->second.expected_bids > 0 || it->second.evaluated) return;
+        ++counters_.bid_timeouts;
+        fail_open(open_id, Status::unavailable("matchmaker unreachable"));
+      });
+  const net::NodeId mm_node = mm_.node_for(file);
+  MetadataManager& shard = mm_.shard_for(file);
+  net_.send(id_, mm_node, net::MessageKind::kResourceQuery,
+            ResourceQueryMsg::estimated_size(), [this, &shard, mm_node, open_id, file] {
+              const ResourceReplyMsg reply = shard.handle_resource_query(file);
+              net_.send(mm_node, id_, net::MessageKind::kResourceReply,
+                        reply.estimated_size(),
+                        [this, open_id, file, holders = reply.holders] {
+                          if (params_.holder_cache_ttl > SimTime::zero()) {
+                            holder_cache_[file] = CachedHolders{
+                                holders, sim_.now() + params_.holder_cache_ttl};
+                          }
+                          on_holders(open_id, holders);
+                        });
+            });
+}
+
+void DfsClient::on_holders(std::uint64_t open_id, const std::vector<net::NodeId>& holders) {
+  const auto it = opens_.find(open_id);
+  if (it == opens_.end()) return;
+  sim_.cancel(it->second.timeout_event);  // exploration finished in time
+  if (holders.empty()) {
+    fail_open(open_id, Status::not_found("no replica registered for file " +
+                                         std::to_string(it->second.file)));
+    return;
+  }
+  send_cfps(open_id, holders);
+}
+
+void DfsClient::send_cfps(std::uint64_t open_id, const std::vector<net::NodeId>& targets) {
+  auto& ctx = opens_.at(open_id);
+  ctx.expected_bids = targets.size();
+  ctx.bids.reserve(targets.size());
+  ctx.timeout_event =
+      sim_.schedule_after(params_.bid_timeout, [this, open_id] { on_bid_timeout(open_id); });
+
+  CfpMsg cfp;
+  cfp.open_id = open_id;
+  cfp.file = ctx.file;
+  cfp.required = ctx.required;
+
+  for (const net::NodeId target : targets) {
+    ResourceManager* rm = rm_by_node(target);
+    assert(rm != nullptr && "MM returned an unknown RM");
+    ++counters_.cfps_sent;
+    net_.send(id_, target, net::MessageKind::kCfp, CfpMsg::estimated_size(),
+              [this, rm, cfp] {
+                if (!rm->is_online()) return;  // message lost at the dead host
+                const BidMsg bid = rm->handle_cfp(cfp);
+                net_.send(rm->node_id(), id_, net::MessageKind::kBid, BidMsg::estimated_size(),
+                          [this, bid] { on_bid(bid.open_id, bid); });
+              });
+  }
+}
+
+void DfsClient::on_bid(std::uint64_t open_id, const BidMsg& bid) {
+  const auto it = opens_.find(open_id);
+  if (it == opens_.end() || it->second.evaluated) return;  // late bid: drop
+  ++counters_.bids_received;
+  it->second.bids.push_back(bid);
+  if (it->second.bids.size() == it->second.expected_bids) {
+    sim_.cancel(it->second.timeout_event);
+    evaluate_bids(open_id);
+  }
+}
+
+void DfsClient::on_bid_timeout(std::uint64_t open_id) {
+  const auto it = opens_.find(open_id);
+  if (it == opens_.end() || it->second.evaluated) return;
+  ++counters_.bid_timeouts;
+  // Score whatever arrived; unreachable RMs count as refusals.
+  evaluate_bids(open_id);
+}
+
+void DfsClient::evaluate_bids(std::uint64_t open_id) {
+  auto& ctx = opens_.at(open_id);
+  ctx.evaluated = true;
+
+  if (ctx.bids.empty()) {
+    fail_open(open_id, Status::unavailable("no bids received for file " +
+                                           std::to_string(ctx.file) + " (holders unreachable)"));
+    return;
+  }
+
+  // Candidates. Reads: RMs that actually hold the file (under plain CNP
+  // some broadcast targets answer has_file = false). Write sessions: RMs
+  // *without* a replica that can store the new one. Firm real-time
+  // additionally requires the assured bandwidth.
+  std::vector<BidMsg> candidates;
+  candidates.reserve(ctx.bids.size());
+  const double needed_bytes =
+      static_cast<double>(directory_.get(ctx.file).size.count());
+  for (const BidMsg& b : ctx.bids) {
+    if (ctx.write_session) {
+      if (b.has_file || b.free_disk_bytes < needed_bytes) continue;
+    } else if (!b.has_file) {
+      continue;
+    }
+    if (!core::admits(params_.mode, b.info, ctx.required)) continue;
+    candidates.push_back(b);
+  }
+
+  if (candidates.empty()) {
+    fail_open(open_id, Status::resource_exhausted(
+                           "no RM can assure " + ctx.required.to_string() + " for file " +
+                           std::to_string(ctx.file)));
+    return;
+  }
+
+  counters_.negotiation_us_sum +=
+      static_cast<std::uint64_t>((sim_.now() - ctx.started).as_micros());
+  ++counters_.negotiations;
+
+  std::vector<core::BidInfo> infos;
+  infos.reserve(candidates.size());
+  for (const BidMsg& b : candidates) infos.push_back(b.info);
+  const auto pick = policy_.choose(infos, rng_);
+  assert(pick.has_value());
+  const net::NodeId winner = candidates[*pick].rm;
+  ResourceManager* rm = rm_by_node(winner);
+  assert(rm != nullptr);
+
+  DataRequestMsg request;
+  request.open_id = open_id;
+  request.file = ctx.file;
+  request.rate = ctx.required;
+  request.firm = params_.mode == core::AllocationMode::kFirm;
+  request.auto_complete = !ctx.explicit_session;
+  request.write = ctx.write_session;
+  if (ctx.explicit_session) {
+    sessions_.emplace(open_id, SessionInfo{winner, ctx.file, ctx.write_session});
+  }
+
+  // Data-phase deadline: if the request or its completion is lost (network
+  // partition), the open must fail rather than hang. Whichever of the real
+  // completion and the deadline fires first wins.
+  auto settled = std::make_shared<bool>(false);
+  const auto settle = [this, settled](std::uint64_t id, const DataCompleteMsg& m) {
+    if (*settled) return;
+    *settled = true;
+    on_data_complete(id, m);
+  };
+  const SimTime expected = request.auto_complete
+                               ? ctx.required.time_to_transfer(directory_.get(ctx.file).size)
+                               : SimTime::zero();
+  sim_.schedule_after(expected + params_.bid_timeout, [settle, request] {
+    DataCompleteMsg timed_out;
+    timed_out.open_id = request.open_id;
+    timed_out.file = request.file;
+    timed_out.accepted = false;
+    settle(timed_out.open_id, timed_out);
+  });
+
+  net_.send(id_, winner, net::MessageKind::kDataRequest, DataRequestMsg::estimated_size(),
+            [this, rm, request, settle] {
+              if (!rm->is_online()) {
+                // Connection refused: the RM died between bidding and the
+                // data request. Report the allocation as rejected.
+                DataCompleteMsg refused;
+                refused.open_id = request.open_id;
+                refused.file = request.file;
+                refused.accepted = false;
+                net_.send(rm->node_id(), id_, net::MessageKind::kDataComplete,
+                          DataCompleteMsg::estimated_size(),
+                          [settle, refused] { settle(refused.open_id, refused); });
+                return;
+              }
+              rm->handle_data_request(id_, request, [settle, open_id = request.open_id](
+                                                        const DataCompleteMsg& m) {
+                settle(open_id, m);
+              });
+            });
+}
+
+void DfsClient::on_data_complete(std::uint64_t open_id, const DataCompleteMsg& msg) {
+  const auto it = opens_.find(open_id);
+  if (it == opens_.end()) return;
+
+  if (!msg.accepted) {
+    // Firm-mode RM-side admission rejected (bid raced with another open).
+    sessions_.erase(open_id);
+    fail_open(open_id, Status::resource_exhausted("RM-side admission rejected the allocation"));
+    return;
+  }
+
+  OpenContext ctx = std::move(it->second);
+  opens_.erase(it);
+  if (ctx.explicit_session) {
+    if (ctx.opened) ctx.opened(Result<std::uint64_t>{open_id});
+  } else {
+    ++counters_.streams_completed;
+    if (ctx.done) ctx.done(Status::ok());
+  }
+}
+
+void DfsClient::fail_open(std::uint64_t open_id, const Status& status) {
+  const auto it = opens_.find(open_id);
+  assert(it != opens_.end());
+  ++counters_.opens_failed;
+  OpenContext ctx = std::move(it->second);
+  opens_.erase(it);
+  // A failed open may mean the cached holder list went stale (replicas
+  // moved); drop it so the next open re-explores.
+  holder_cache_.erase(ctx.file);
+  if (ctx.explicit_session) {
+    if (ctx.opened) ctx.opened(Result<std::uint64_t>{status});
+  } else if (ctx.done) {
+    ctx.done(status);
+  }
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,210 @@
+// Distributed File System Client — the ECNP Requester (§III.A).
+//
+// Drives the three-phase resource-management flow for every access:
+//   1. resource exploration — query the MM for the replica holders;
+//   2. resource negotiation — CFP fan-out, collect every RM's bid, evaluate
+//      with the configured (α, β, γ) selection policy;
+//   3. data communication — allocate on the winner and stream.
+//
+// A plain-CNP mode (broadcast the CFP to every registered RM, no matchmaker
+// query) exists for the ECNP-traffic ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/admission.hpp"
+#include "core/qos_types.hpp"
+#include "core/selection_policy.hpp"
+#include "dfs/ecnp_messages.hpp"
+#include "dfs/file_types.hpp"
+#include "dfs/mm_directory.hpp"
+#include "dfs/resource_manager.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sqos::dfs {
+
+class DfsClient {
+ public:
+  enum class Negotiation : std::uint8_t { kEcnp, kCnp };
+
+  struct Params {
+    std::string name;  // "DFSC1" ..
+    core::AllocationMode mode = core::AllocationMode::kFirm;
+    core::PolicyWeights policy;
+    Negotiation negotiation = Negotiation::kEcnp;
+    /// Negotiation deadline: bids not received by then are treated as
+    /// refusals (a crashed RM must not hang every open that CFPs it — the
+    /// matchmaker's resource list can be stale, §II).
+    SimTime bid_timeout = SimTime::seconds(2.0);
+
+    /// Holder-cache TTL: remember the MM's holder list per file and skip the
+    /// exploration round trip for repeat opens within the TTL. Zero (the
+    /// default, and the paper's behaviour) disables the cache. Staleness is
+    /// tolerated by construction: an RM that lost the replica answers its
+    /// CFP with has_file = false, and replication-created replicas are
+    /// simply not used until the entry expires.
+    SimTime holder_cache_ttl = SimTime::zero();
+  };
+
+  /// Completion of a whole streamed access (or of the open, for explicit
+  /// sessions). The Status conveys firm-mode open failure.
+  using Callback = std::function<void(const Status&)>;
+
+  DfsClient(net::NodeId id, Params params, sim::Simulator& simulator, net::Network& network,
+            MetadataDirectory& mm, const FileDirectory& directory, Rng rng);
+
+  DfsClient(const DfsClient&) = delete;
+  DfsClient& operator=(const DfsClient&) = delete;
+
+  /// Wire the RM components so delivery closures can invoke their handlers.
+  void attach_rms(const std::vector<ResourceManager*>& rms);
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return params_.name; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  // --- high-level access (experiments) --------------------------------------
+
+  /// Stream the whole file at its bitrate (open -> transfer -> complete).
+  /// `done` fires with ok() on completion or an error on open failure.
+  void stream_file(FileId file, Callback done = {});
+
+  /// Write path: create up to `replicas` initial copies of a freshly
+  /// registered file (no replicas may exist yet). The owning MM shard
+  /// supplies the candidate RM list, every candidate bids, the selection
+  /// policy ranks them, and the top candidates with disk space (and, under
+  /// firm allocation, bandwidth) receive the written data at the file's
+  /// bitrate. Each completed copy is committed to the MM. `done` fires ok()
+  /// when at least one replica landed.
+  void write_file(FileId file, std::size_t replicas, Callback done = {});
+
+  // --- explicit sessions (VFS adapter) ---------------------------------------
+
+  /// Negotiate and allocate; on success `opened` receives a session handle.
+  void open(FileId file, std::function<void(Result<std::uint64_t>)> opened);
+
+  /// Negotiate an explicit *write* session for a freshly registered file:
+  /// the winner reserves disk space and write bandwidth; data is paced by
+  /// the caller (VFS write()) and the replica becomes durable at
+  /// release_write(fd, true).
+  void open_write(FileId file, std::function<void(Result<std::uint64_t>)> opened);
+
+  /// Free the allocation of an explicit session.
+  void release(std::uint64_t session);
+
+  /// End an explicit write session. `commit` true makes the replica durable
+  /// and registers it with the MM; false abandons and rolls back the
+  /// reservation.
+  void release_write(std::uint64_t session, bool commit);
+
+  /// Resource-exploration query used by readdir: holders of `file`.
+  void query_holders(FileId file, std::function<void(std::vector<net::NodeId>)> reply);
+
+  // --- metrics ---------------------------------------------------------------
+
+  struct Counters {
+    std::uint64_t opens_attempted = 0;
+    std::uint64_t opens_failed = 0;      // firm real-time open failures
+    std::uint64_t streams_completed = 0;
+    std::uint64_t bids_received = 0;
+    std::uint64_t cfps_sent = 0;
+    std::uint64_t bid_timeouts = 0;      // negotiations decided on partial bids
+    std::uint64_t writes_attempted = 0;
+    std::uint64_t writes_failed = 0;     // no replica could be placed
+    std::uint64_t replicas_written = 0;
+    /// Time from open to the winner selection, summed over negotiations —
+    /// the ECNP control-plane cost per access.
+    std::uint64_t negotiation_us_sum = 0;
+    std::uint64_t negotiations = 0;
+    std::uint64_t holder_cache_hits = 0;
+    std::uint64_t holder_cache_misses = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct OpenContext {
+    FileId file = 0;
+    Bandwidth required;
+    SimTime started;                   // negotiation-latency measurement
+    bool explicit_session = false;
+    bool write_session = false;
+    std::size_t expected_bids = 0;
+    std::vector<BidMsg> bids;
+    bool evaluated = false;            // bids already scored (late bids drop)
+    sim::EventId timeout_event{};      // pending bid-timeout event
+    Callback done;                                   // streamed access
+    std::function<void(Result<std::uint64_t>)> opened;  // explicit session
+  };
+
+  struct WriteContext {
+    FileId file = 0;
+    Bandwidth required;
+    Bytes size;
+    std::size_t replicas = 1;
+    std::size_t expected_bids = 0;
+    std::vector<BidMsg> bids;
+    bool evaluated = false;
+    sim::EventId timeout_event{};
+    std::vector<BidMsg> ranked;        // admissible candidates, best first
+    std::size_t next_candidate = 0;    // failover cursor into `ranked`
+    std::size_t pending_writes = 0;
+    std::size_t succeeded = 0;
+    Callback done;
+  };
+
+  void on_write_candidates(std::uint64_t write_id, const std::vector<net::NodeId>& candidates);
+  void on_write_bid(std::uint64_t write_id, const BidMsg& bid);
+  void evaluate_write_bids(std::uint64_t write_id);
+  void dispatch_write(std::uint64_t write_id, net::NodeId target);
+  void on_write_complete(std::uint64_t write_id, net::NodeId rm, const DataCompleteMsg& msg);
+  void finish_write(std::uint64_t write_id);
+
+  void start_negotiation(std::uint64_t open_id, OpenContext ctx);
+  void on_holders(std::uint64_t open_id, const std::vector<net::NodeId>& holders);
+  void send_cfps(std::uint64_t open_id, const std::vector<net::NodeId>& holders);
+  void on_bid(std::uint64_t open_id, const BidMsg& bid);
+  void on_bid_timeout(std::uint64_t open_id);
+  void evaluate_bids(std::uint64_t open_id);
+  void on_data_complete(std::uint64_t open_id, const DataCompleteMsg& msg);
+  void fail_open(std::uint64_t open_id, const Status& status);
+
+  [[nodiscard]] ResourceManager* rm_by_node(net::NodeId id) const;
+
+  net::NodeId id_;
+  Params params_;
+  sim::Simulator& sim_;
+  net::Network& net_;
+  MetadataDirectory& mm_;
+  const FileDirectory& directory_;
+  core::SelectionPolicy policy_;
+  Rng rng_;
+
+  std::unordered_map<std::uint32_t, ResourceManager*> rms_;
+  std::vector<net::NodeId> all_rms_;  // CNP broadcast targets
+  struct SessionInfo {
+    net::NodeId rm;
+    FileId file = 0;
+    bool write = false;
+  };
+
+  struct CachedHolders {
+    std::vector<net::NodeId> holders;
+    SimTime expires;
+  };
+
+  std::unordered_map<std::uint64_t, OpenContext> opens_;
+  std::unordered_map<std::uint64_t, WriteContext> writes_;
+  std::unordered_map<std::uint64_t, SessionInfo> sessions_;  // open_id -> serving RM
+  std::unordered_map<FileId, CachedHolders> holder_cache_;
+  std::uint64_t next_open_id_ = 1;
+  Counters counters_;
+};
+
+}  // namespace sqos::dfs

@@ -1,0 +1,167 @@
+// ECNP control-message payloads.
+//
+// Payloads travel inside delivery closures on the simulated fabric; the
+// structs here define the protocol contract between DFSC, RM and MM, and
+// estimated_size() feeds the network's traffic accounting (used by the
+// ECNP-vs-CNP ablation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/bid.hpp"
+#include "dfs/file_types.hpp"
+#include "net/node_id.hpp"
+#include "util/units.hpp"
+
+namespace sqos::dfs {
+
+/// Every control message carries roughly a transport + protocol header.
+inline constexpr std::int64_t kMessageHeaderBytes = 64;
+
+[[nodiscard]] inline Bytes message_size(std::size_t payload_elements,
+                                        std::int64_t bytes_per_element = 8) {
+  return Bytes::of(kMessageHeaderBytes +
+                   static_cast<std::int64_t>(payload_elements) * bytes_per_element);
+}
+
+/// RM -> MM at start-up: the resources this provider manages.
+struct RegisterMsg {
+  net::NodeId rm;
+  Bandwidth dispatched_bandwidth;  // initial blkio cap
+  Bytes disk_capacity;
+  std::vector<FileId> stored_files;
+
+  [[nodiscard]] Bytes estimated_size() const { return message_size(3 + stored_files.size()); }
+};
+
+/// DFSC -> MM: which RMs hold replicas of `file`? (readdir/open exploration)
+struct ResourceQueryMsg {
+  FileId file = 0;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(1); }
+};
+
+/// MM -> DFSC: the eligible RM list for the query.
+struct ResourceReplyMsg {
+  FileId file = 0;
+  std::vector<net::NodeId> holders;
+  [[nodiscard]] Bytes estimated_size() const { return message_size(1 + holders.size()); }
+};
+
+/// DFSC -> RM: call-for-proposal with the client requirement (§III.B).
+struct CfpMsg {
+  std::uint64_t open_id = 0;  // client-side correlation key
+  FileId file = 0;
+  Bandwidth required;         // B_req
+  [[nodiscard]] static Bytes estimated_size() { return message_size(3); }
+};
+
+/// RM -> DFSC: the bid. In this ECNP variant every RM responds (no refusal);
+/// under plain CNP broadcast, RMs without the file answer has_file = false.
+struct BidMsg {
+  std::uint64_t open_id = 0;
+  net::NodeId rm;
+  bool has_file = true;
+  core::BidInfo info;
+  double free_disk_bytes = 0.0;  // write-path admission input
+  [[nodiscard]] static Bytes estimated_size() { return message_size(7); }
+};
+
+/// DFSC -> RM: begin the data communication phase on the selected RM.
+struct DataRequestMsg {
+  std::uint64_t open_id = 0;
+  FileId file = 0;
+  Bandwidth rate;         // allocated bandwidth (== B_req)
+  bool firm = false;      // RM-side final admission applies in firm mode
+  bool auto_complete = true;  // stream mode: RM completes after size/rate
+  bool write = false;     // write path: the RM stores a replica on completion
+  [[nodiscard]] static Bytes estimated_size() { return message_size(6); }
+};
+
+/// RM -> DFSC: transfer finished (stream mode) or admission verdict.
+struct DataCompleteMsg {
+  std::uint64_t open_id = 0;
+  FileId file = 0;
+  bool accepted = true;   // false: firm-mode RM-side admission rejected
+  [[nodiscard]] static Bytes estimated_size() { return message_size(3); }
+};
+
+/// DFSC -> RM: free an explicitly-held allocation (VFS release path). For
+/// write sessions `commit` distinguishes a completed file (the replica
+/// becomes durable) from an abandoned one (the reservation rolls back).
+struct ReleaseMsg {
+  std::uint64_t open_id = 0;
+  bool commit = true;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(2); }
+};
+
+/// Source RM -> MM: RMs *without* a replica of `file` (replication "where").
+struct ReplicaListQueryMsg {
+  FileId file = 0;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(1); }
+};
+
+struct ReplicaHolderInfo {
+  net::NodeId rm;
+  Bandwidth initial_bandwidth;  // for LBF / weighted destination selection
+};
+
+/// MM -> source RM.
+struct ReplicaListReplyMsg {
+  FileId file = 0;
+  std::uint32_t current_replicas = 0;  // N_CUR
+  std::vector<ReplicaHolderInfo> non_holders;
+  [[nodiscard]] Bytes estimated_size() const {
+    return message_size(2 + 2 * non_holders.size());
+  }
+};
+
+/// Source RM -> destination RM: please accept a copy of `file`.
+struct ReplicationRequestMsg {
+  std::uint64_t transfer_id = 0;
+  net::NodeId source;
+  FileId file = 0;
+  Bytes size;
+  Bandwidth file_bandwidth;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(5); }
+};
+
+/// Destination RM -> source RM.
+struct ReplicationResponseMsg {
+  std::uint64_t transfer_id = 0;
+  net::NodeId destination;
+  bool accepted = false;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(3); }
+};
+
+/// Destination RM -> MM: the new replica is available.
+struct ReplicationDoneMsg {
+  net::NodeId rm;
+  FileId file = 0;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(2); }
+};
+
+/// RM -> MM: replica removed (over-bound self-delete, §V).
+struct ReplicaDeleteMsg {
+  net::NodeId rm;
+  FileId file = 0;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(2); }
+};
+
+/// RM -> MM: request to drop an idle surplus replica (GC, §III.B). The MM
+/// arbitrates so concurrent deleters cannot drop a file below the floor.
+struct DeleteRequestMsg {
+  net::NodeId rm;
+  FileId file = 0;
+  std::uint32_t min_replicas = 3;  // the floor the requester is configured with
+  [[nodiscard]] static Bytes estimated_size() { return message_size(3); }
+};
+
+/// MM -> RM.
+struct DeleteReplyMsg {
+  FileId file = 0;
+  bool approved = false;
+  [[nodiscard]] static Bytes estimated_size() { return message_size(2); }
+};
+
+}  // namespace sqos::dfs

@@ -1,0 +1,48 @@
+#include "dfs/file_types.hpp"
+
+#include <algorithm>
+
+namespace sqos::dfs {
+
+FileDirectory::FileDirectory(std::vector<FileMeta> files) : files_{std::move(files)} {
+  by_id_.reserve(files_.size());
+  by_name_.reserve(files_.size());
+  for (std::size_t i = 0; i < files_.size(); ++i) {
+    const auto [_, inserted] = by_id_.emplace(files_[i].id, i);
+    assert(inserted && "duplicate FileId in directory");
+    (void)inserted;
+    if (!files_[i].name.empty()) by_name_.emplace(files_[i].name, i);
+  }
+}
+
+Status FileDirectory::add(FileMeta meta) {
+  if (by_id_.contains(meta.id)) {
+    return Status::already_exists("file id " + std::to_string(meta.id) + " already exists");
+  }
+  if (!meta.name.empty() && by_name_.contains(meta.name)) {
+    return Status::already_exists("file name '" + meta.name + "' already exists");
+  }
+  by_id_.emplace(meta.id, files_.size());
+  if (!meta.name.empty()) by_name_.emplace(meta.name, files_.size());
+  files_.push_back(std::move(meta));
+  return Status::ok();
+}
+
+const FileMeta& FileDirectory::get(FileId id) const {
+  const auto it = by_id_.find(id);
+  assert(it != by_id_.end() && "unknown FileId");
+  return files_[it->second];
+}
+
+FileId FileDirectory::next_id() const {
+  FileId max_id = 0;
+  for (const auto& [id, _] : by_id_) max_id = std::max(max_id, id);
+  return max_id + 1;
+}
+
+const FileMeta* FileDirectory::find_by_name(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &files_[it->second];
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,143 @@
+#include "dfs/metadata_manager.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/logging.hpp"
+
+namespace sqos::dfs {
+
+void MetadataManager::handle_register(const RegisterMsg& msg) {
+  const auto it = rm_index_.find(msg.rm);
+  if (it != rm_index_.end()) {
+    Log::warn("MM: RM %s re-registered; resetting its resource entry",
+              msg.rm.to_string().c_str());
+  }
+  handle_resource_update(msg);
+}
+
+void MetadataManager::handle_resource_update(const RegisterMsg& msg) {
+  ++counters_.registrations;
+  const auto it = rm_index_.find(msg.rm);
+  if (it != rm_index_.end()) {
+    // Known RM: reset its replica entries to the reported disk truth. This
+    // is the anti-entropy step that heals commit/delete messages lost to
+    // partitions or crashes.
+    for (auto& [_, holders] : replicas_) holders.erase(msg.rm);
+    rms_[it->second] = RmInfo{msg.rm, msg.dispatched_bandwidth, msg.disk_capacity};
+  } else {
+    rm_index_.emplace(msg.rm, rms_.size());
+    rms_.push_back(RmInfo{msg.rm, msg.dispatched_bandwidth, msg.disk_capacity});
+  }
+  for (const FileId f : msg.stored_files) replicas_[f].insert(msg.rm);
+}
+
+ResourceReplyMsg MetadataManager::handle_resource_query(FileId file) {
+  ++counters_.resource_queries;
+  ResourceReplyMsg reply;
+  reply.file = file;
+  reply.holders = holders_of(file);
+  return reply;
+}
+
+ReplicaListReplyMsg MetadataManager::handle_replica_list_query(FileId file) {
+  ++counters_.replica_list_queries;
+  ReplicaListReplyMsg reply;
+  reply.file = file;
+  const auto it = replicas_.find(file);
+  const auto* holders = it == replicas_.end() ? nullptr : &it->second;
+  reply.current_replicas = holders == nullptr ? 0 : static_cast<std::uint32_t>(holders->size());
+  for (const auto& rm : rms_) {
+    if (holders != nullptr && holders->contains(rm.id)) continue;
+    reply.non_holders.push_back(ReplicaHolderInfo{rm.id, rm.dispatched_bandwidth});
+  }
+  return reply;
+}
+
+void MetadataManager::handle_replication_done(const ReplicationDoneMsg& msg) {
+  ++counters_.replication_done;
+  assert(is_registered(msg.rm));
+  replicas_[msg.file].insert(msg.rm);
+}
+
+void MetadataManager::handle_replica_delete(const ReplicaDeleteMsg& msg) {
+  ++counters_.replica_deletes;
+  const auto it = replicas_.find(msg.file);
+  if (it == replicas_.end() || it->second.erase(msg.rm) == 0) {
+    Log::warn("MM: delete of unknown replica (file %llu on %s)",
+              static_cast<unsigned long long>(msg.file), msg.rm.to_string().c_str());
+  }
+}
+
+DeleteReplyMsg MetadataManager::handle_delete_request(const DeleteRequestMsg& msg) {
+  ++counters_.delete_requests;
+  DeleteReplyMsg reply;
+  reply.file = msg.file;
+  const auto it = replicas_.find(msg.file);
+  if (it != replicas_.end() && it->second.size() > msg.min_replicas &&
+      it->second.contains(msg.rm)) {
+    it->second.erase(msg.rm);
+    reply.approved = true;
+    ++counters_.deletes_approved;
+  }
+  return reply;
+}
+
+std::vector<FileId> MetadataManager::surplus_files_of(net::NodeId rm, std::uint32_t floor) const {
+  std::vector<FileId> out;
+  for (const auto& [file, holders] : replicas_) {
+    if (holders.size() > floor && holders.contains(rm)) out.push_back(file);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetadataManager::bootstrap_replica(net::NodeId rm, FileId file) {
+  replicas_[file].insert(rm);
+}
+
+std::vector<net::NodeId> MetadataManager::holders_of(FileId file) const {
+  const auto it = replicas_.find(file);
+  if (it == replicas_.end()) return {};
+  std::vector<net::NodeId> out{it->second.begin(), it->second.end()};
+  // Deterministic order: unordered_set iteration order is not stable across
+  // runs/platforms, and this list seeds the CFP fan-out order.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t MetadataManager::replica_count(FileId file) const {
+  const auto it = replicas_.find(file);
+  return it == replicas_.end() ? 0 : it->second.size();
+}
+
+std::vector<net::NodeId> MetadataManager::registered_rms() const {
+  std::vector<net::NodeId> out;
+  out.reserve(rms_.size());
+  for (const auto& rm : rms_) out.push_back(rm.id);
+  return out;
+}
+
+Bandwidth MetadataManager::rm_bandwidth(net::NodeId rm) const {
+  const auto it = rm_index_.find(rm);
+  assert(it != rm_index_.end());
+  return rms_[it->second].dispatched_bandwidth;
+}
+
+std::vector<FileId> MetadataManager::known_files() const {
+  std::vector<FileId> out;
+  out.reserve(replicas_.size());
+  for (const auto& [file, holders] : replicas_) {
+    if (!holders.empty()) out.push_back(file);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t MetadataManager::total_replicas() const {
+  std::size_t total = 0;
+  for (const auto& [_, holders] : replicas_) total += holders.size();
+  return total;
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,108 @@
+// Metadata Manager — the ECNP Mapper/Matchmaker (§III.A).
+//
+// Maintains the global resource list (union of everything the RMs register)
+// and the file -> replica-holder map, and answers two query families:
+// resource queries from DFSCs (which RMs can serve file F) and replica-list
+// queries from replication sources (which RMs do NOT yet hold F).
+//
+// Messaging idiom: handlers are synchronous state transitions invoked from
+// delivery closures; the *caller* composes the round trip on the network so
+// both legs get latency and traffic accounting (see Cluster wiring).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dfs/ecnp_messages.hpp"
+#include "dfs/file_types.hpp"
+#include "net/node_id.hpp"
+#include "util/units.hpp"
+
+namespace sqos::dfs {
+
+class MetadataManager {
+ public:
+  explicit MetadataManager(net::NodeId id) : id_{id} {}
+
+  [[nodiscard]] net::NodeId node_id() const { return id_; }
+
+  // --- protocol handlers ---------------------------------------------------
+
+  /// RM registration. Maintains global-resource-list integrity: re-registering
+  /// the same RM replaces its previous entry and replica set.
+  void handle_register(const RegisterMsg& msg);
+
+  /// Periodic resource refresh (anti-entropy): identical to re-registration
+  /// but expected — it reconciles the MM's view with the RM's disk truth
+  /// after lost commit/delete messages, without the re-registration warning.
+  void handle_resource_update(const RegisterMsg& msg);
+
+  /// DFSC resource query: the replica holders of `file`.
+  [[nodiscard]] ResourceReplyMsg handle_resource_query(FileId file);
+
+  /// Replication-source query: registered RMs holding no replica of `file`,
+  /// plus the current replica count N_CUR.
+  [[nodiscard]] ReplicaListReplyMsg handle_replica_list_query(FileId file);
+
+  void handle_replication_done(const ReplicationDoneMsg& msg);
+  void handle_replica_delete(const ReplicaDeleteMsg& msg);
+
+  /// GC arbitration (§III.B deletion): approve dropping the requester's
+  /// replica only while the file would keep more than `min_replicas` copies
+  /// and the requester actually holds one. Approval removes the replica from
+  /// the global map atomically, so concurrent requests cannot both win the
+  /// same slot.
+  [[nodiscard]] DeleteReplyMsg handle_delete_request(const DeleteRequestMsg& msg);
+
+  /// GC pre-filter: the files for which `rm` holds a replica while the
+  /// system-wide count exceeds `floor` (sorted for determinism). One query
+  /// per RM per scan keeps GC traffic bounded.
+  [[nodiscard]] std::vector<FileId> surplus_files_of(net::NodeId rm, std::uint32_t floor) const;
+
+  // --- bootstrap & inspection ----------------------------------------------
+
+  /// Record a replica placed out-of-band during initial (static) placement.
+  void bootstrap_replica(net::NodeId rm, FileId file);
+
+  [[nodiscard]] std::vector<net::NodeId> holders_of(FileId file) const;
+  [[nodiscard]] std::size_t replica_count(FileId file) const;
+  [[nodiscard]] std::size_t registered_rm_count() const { return rms_.size(); }
+  [[nodiscard]] bool is_registered(net::NodeId rm) const { return rm_index_.contains(rm); }
+  [[nodiscard]] std::vector<net::NodeId> registered_rms() const;
+  [[nodiscard]] Bandwidth rm_bandwidth(net::NodeId rm) const;
+
+  /// Total replicas across all files (capacity-pressure diagnostics).
+  [[nodiscard]] std::size_t total_replicas() const;
+
+  /// Every file with at least one registered replica, sorted — the
+  /// resource-list content behind the client's readdir (§III.A.1).
+  [[nodiscard]] std::vector<FileId> known_files() const;
+
+  struct Counters {
+    std::uint64_t registrations = 0;
+    std::uint64_t resource_queries = 0;
+    std::uint64_t replica_list_queries = 0;
+    std::uint64_t replication_done = 0;
+    std::uint64_t replica_deletes = 0;
+    std::uint64_t delete_requests = 0;
+    std::uint64_t deletes_approved = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  struct RmInfo {
+    net::NodeId id;
+    Bandwidth dispatched_bandwidth;
+    Bytes disk_capacity;
+  };
+
+  net::NodeId id_;
+  std::vector<RmInfo> rms_;
+  std::unordered_map<net::NodeId, std::size_t> rm_index_;
+  std::unordered_map<FileId, std::unordered_set<net::NodeId>> replicas_;
+  Counters counters_;
+};
+
+}  // namespace sqos::dfs

@@ -1,0 +1,95 @@
+#include "dfs/mm_directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace sqos::dfs {
+namespace {
+
+// SplitMix64 finalizer: a strong 64-bit mixer for ring points and file keys.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+MetadataDirectory::MetadataDirectory(net::Network& network, std::size_t shards,
+                                     std::size_t virtual_nodes) {
+  assert(shards >= 1);
+  assert(virtual_nodes >= 1);
+  shards_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::string name = shards == 1 ? "MM" : "MM" + std::to_string(s + 1);
+    shards_.push_back(std::make_unique<MetadataManager>(network.register_node(name)));
+    for (std::size_t v = 0; v < virtual_nodes; ++v) {
+      ring_.push_back(RingPoint{mix64(s * 0x10001ULL + v * 0x9e3779b9ULL + 1), s});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t MetadataDirectory::shard_index_for(FileId file) const {
+  if (shards_.size() == 1) return 0;
+  const std::uint64_t h = mix64(file);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(), RingPoint{h, 0});
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the ring
+  return it->shard;
+}
+
+MetadataManager& MetadataDirectory::shard_for(FileId file) {
+  return *shards_[shard_index_for(file)];
+}
+
+net::NodeId MetadataDirectory::node_for(FileId file) {
+  return shards_[shard_index_for(file)]->node_id();
+}
+
+std::vector<net::NodeId> MetadataDirectory::holders_of(FileId file) const {
+  return shards_[shard_index_for(file)]->holders_of(file);
+}
+
+std::size_t MetadataDirectory::replica_count(FileId file) const {
+  return shards_[shard_index_for(file)]->replica_count(file);
+}
+
+std::size_t MetadataDirectory::total_replicas() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->total_replicas();
+  return total;
+}
+
+bool MetadataDirectory::is_registered(net::NodeId rm) const {
+  // Registration is broadcast: any shard's answer is authoritative.
+  return shards_.front()->is_registered(rm);
+}
+
+std::size_t MetadataDirectory::registered_rm_count() const {
+  return shards_.front()->registered_rm_count();
+}
+
+std::vector<FileId> MetadataDirectory::known_files() const {
+  std::vector<FileId> out;
+  for (const auto& s : shards_) {
+    const auto files = s->known_files();
+    out.insert(out.end(), files.begin(), files.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetadataDirectory::bootstrap_replica(net::NodeId rm, FileId file) {
+  shards_[shard_index_for(file)]->bootstrap_replica(rm, file);
+}
+
+std::vector<std::size_t> MetadataDirectory::ownership_histogram(FileId first,
+                                                                std::size_t n) const {
+  std::vector<std::size_t> hist(shards_.size(), 0);
+  for (std::size_t i = 0; i < n; ++i) ++hist[shard_index_for(first + i)];
+  return hist;
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,314 @@
+#include "dfs/resource_manager.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "core/admission.hpp"
+#include "core/bid.hpp"
+#include "core/replication_planner.hpp"
+#include "dfs/replication_agent.hpp"
+#include "util/logging.hpp"
+
+namespace sqos::dfs {
+
+ResourceManager::ResourceManager(net::NodeId id, Params params, storage::ThrottleGroup& group,
+                                 sim::Simulator& simulator, net::Network& network,
+                                 const FileDirectory& directory,
+                                 const core::ReplicationConfig& replication)
+    : id_{id},
+      params_{std::move(params)},
+      group_{group},
+      sim_{simulator},
+      net_{network},
+      directory_{directory},
+      replication_cfg_{replication},
+      disk_{params_.disk_capacity},
+      ledger_{group.cap(), simulator.now()},
+      history_{params_.history},
+      trigger_{replication} {}
+
+RegisterMsg ResourceManager::make_register_msg() const {
+  RegisterMsg msg;
+  msg.rm = id_;
+  msg.dispatched_bandwidth = group_.cap();
+  msg.disk_capacity = disk_.capacity();
+  // Only durable replicas are advertised: in-flight write reservations and
+  // incoming replication copies are not yet readable.
+  for (const FileId f : disk_.file_keys()) {
+    if (pending_writes_.contains(f) || pending_incoming_.contains(f)) continue;
+    msg.stored_files.push_back(f);
+  }
+  return msg;
+}
+
+Status ResourceManager::place_replica(FileId file) {
+  const FileMeta& meta = directory_.get(file);
+  const Status s = disk_.add(file, meta.size);
+  if (!s.is_ok()) return s;
+  occupancy_.add_file(meta.duration());
+  stored_at_[file] = sim_.now();
+  return Status::ok();
+}
+
+BidMsg ResourceManager::handle_cfp(const CfpMsg& msg) {
+  ++counters_.cfps_answered;
+  const FileMeta& meta = directory_.get(msg.file);
+  const SimTime now = sim_.now();
+
+  core::BidInputs in;
+  in.b_rem = remaining();
+  in.b_used = allocated();
+  in.reference = history_.reference(now);
+  in.now = now;
+  in.b_req = msg.required;
+  in.t_ocp = msg.required.time_to_transfer(meta.size);
+  in.t_ocp_avg = occupancy_.average();
+
+  BidMsg bid;
+  bid.open_id = msg.open_id;
+  bid.rm = id_;
+  bid.has_file = disk_.contains(msg.file);
+  bid.info = core::make_bid(in);
+  bid.free_disk_bytes = static_cast<double>(disk_.free().count());
+  return bid;
+}
+
+void ResourceManager::sync_ledger() { ledger_.on_allocation_change(sim_.now(), allocated()); }
+
+bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestMsg& msg,
+                                          std::function<void(const DataCompleteMsg&)> deliver_complete) {
+  ++counters_.data_requests;
+  const FileMeta& meta = directory_.get(msg.file);
+  const SimTime now = sim_.now();
+
+  const auto send_complete = [this, client](DataCompleteMsg m,
+                                            std::function<void(const DataCompleteMsg&)> deliver) {
+    net_.send(id_, client, net::MessageKind::kDataComplete, DataCompleteMsg::estimated_size(),
+              [deliver = std::move(deliver), m] { deliver(m); });
+  };
+
+  // Firm real-time: the RM performs the final admission so its allocation
+  // never exceeds the cap even when concurrent negotiations raced on the
+  // same bid information. Writes additionally require disk space for the
+  // incoming replica (reserved up front by an empty placeholder so racing
+  // writes cannot over-commit the disk).
+  const bool no_bandwidth = msg.firm && remaining() < msg.rate;
+  const bool no_space =
+      msg.write && (disk_.contains(msg.file) || disk_.free() < meta.size);
+  if (no_bandwidth || no_space) {
+    ++counters_.firm_rejects;
+    DataCompleteMsg reject;
+    reject.open_id = msg.open_id;
+    reject.file = msg.file;
+    reject.accepted = false;
+    send_complete(reject, std::move(deliver_complete));
+    return false;
+  }
+  if (msg.write) {
+    // Reserve the space now; the replica becomes visible (occupation, MM
+    // commit by the client) only when the transfer completes. The pending
+    // entry lets fail() roll a torn write back at crash time — before any
+    // recovery re-registration could advertise it.
+    const Status reserved = disk_.add(msg.file, meta.size);
+    assert(reserved.is_ok());
+    (void)reserved;
+    pending_writes_.insert(msg.file);
+  }
+
+  // The request is now being served: it enters the two-queue historical
+  // record (request arrival + accessed file size, §IV) and — for reads —
+  // the per-file heat used by the "what to replicate" decision (§V).
+  history_.record(now, meta.size);
+  if (!msg.write) heat_.record_access(msg.file);
+  last_access_[msg.file] = now;
+
+  const storage::FlowId flow = group_.add_flow(
+      msg.write ? storage::FlowKind::kWrite : storage::FlowKind::kRead, msg.file, msg.rate, now);
+  sync_ledger();
+
+  if (msg.auto_complete) {
+    const SimTime duration = msg.rate.time_to_transfer(meta.size);
+    sim_.schedule_after(duration, [this, flow, msg, client, send_complete, epoch = epoch_,
+                                   deliver = std::move(deliver_complete)]() mutable {
+      DataCompleteMsg done;
+      done.open_id = msg.open_id;
+      done.file = msg.file;
+      if (epoch != epoch_) {
+        // The RM crashed while the transfer was in flight: the allocation
+        // died with it, and fail() already rolled back any torn write.
+        done.accepted = false;
+      } else {
+        group_.remove_flow(flow);
+        sync_ledger();
+        if (msg.write) {
+          // The replica is now durable; it becomes visible to negotiation
+          // once the client commits it to the MM.
+          const FileMeta& m = directory_.get(msg.file);
+          occupancy_.add_file(m.duration());
+          stored_at_[msg.file] = sim_.now();
+          pending_writes_.erase(msg.file);
+          ++counters_.writes_completed;
+        } else {
+          ++counters_.streams_completed;
+        }
+        done.accepted = true;
+      }
+      send_complete(done, std::move(deliver));
+    });
+  } else {
+    sessions_.emplace(session_key(client, msg.open_id), Session{flow, msg.file, msg.write});
+    DataCompleteMsg ack;
+    ack.open_id = msg.open_id;
+    ack.file = msg.file;
+    ack.accepted = true;
+    send_complete(ack, std::move(deliver_complete));
+  }
+
+  // Serving this request may have pushed remaining bandwidth below B_TH —
+  // the paper's replication trigger point (§V "when to replicate").
+  if (agent_ != nullptr) agent_->maybe_trigger(*this);
+  return true;
+}
+
+void ResourceManager::handle_release(net::NodeId client, const ReleaseMsg& msg) {
+  ++counters_.releases;
+  const auto it = sessions_.find(session_key(client, msg.open_id));
+  if (it == sessions_.end()) {
+    Log::warn("%s: release of unknown session %llu", params_.name.c_str(),
+              static_cast<unsigned long long>(msg.open_id));
+    return;
+  }
+  const Session session = it->second;
+  group_.remove_flow(session.flow);
+  sessions_.erase(it);
+  sync_ledger();
+
+  if (session.write) {
+    if (msg.commit) {
+      // The explicit write finished: the replica becomes durable.
+      const FileMeta& meta = directory_.get(session.file);
+      occupancy_.add_file(meta.duration());
+      stored_at_[session.file] = sim_.now();
+      pending_writes_.erase(session.file);
+      ++counters_.writes_completed;
+    } else {
+      // Abandoned write: roll the reservation back.
+      pending_writes_.erase(session.file);
+      if (disk_.contains(session.file)) (void)disk_.remove(session.file);
+    }
+  }
+}
+
+ReplicationResponseMsg ResourceManager::handle_replication_request(
+    const ReplicationRequestMsg& msg) {
+  ++counters_.replication_requests;
+  ReplicationResponseMsg response;
+  response.transfer_id = msg.transfer_id;
+  response.destination = id_;
+
+  const bool holds_or_pending = disk_.contains(msg.file) || pending_incoming_.contains(msg.file);
+  const auto verdict = core::destination_verdict(replication_cfg_, holds_or_pending, remaining(),
+                                                 cap(), msg.file_bandwidth);
+  const bool has_space = disk_.free() >= msg.size;
+  response.accepted = verdict == core::DestinationVerdict::kAccept && has_space;
+  if (response.accepted) {
+    ++counters_.replication_accepts;
+    pending_incoming_.insert(msg.file);
+    trigger_.begin_destination();
+  } else {
+    ++counters_.replication_rejects;
+  }
+  return response;
+}
+
+storage::FlowId ResourceManager::begin_replication_out(FileId file, Bandwidth speed) {
+  return replication_lane_.add(storage::FlowKind::kReplicationOut, file, speed, sim_.now());
+}
+
+void ResourceManager::end_replication_out(storage::FlowId flow) {
+  replication_lane_.remove(flow);
+}
+
+storage::FlowId ResourceManager::begin_replication_in(FileId file, Bandwidth speed) {
+  return replication_lane_.add(storage::FlowKind::kReplicationIn, file, speed, sim_.now());
+}
+
+Status ResourceManager::finish_replication_in(storage::FlowId flow, FileId file) {
+  replication_lane_.remove(flow);
+  pending_incoming_.erase(file);
+  trigger_.end_destination();
+
+  const FileMeta& meta = directory_.get(file);
+  const Status s = disk_.add(file, meta.size);
+  if (s.is_ok()) {
+    occupancy_.add_file(meta.duration());
+    stored_at_[file] = sim_.now();
+    ++counters_.replicas_received;
+  }
+  return s;
+}
+
+void ResourceManager::abort_replication_in(storage::FlowId flow, FileId file) {
+  replication_lane_.remove(flow);
+  pending_incoming_.erase(file);
+  trigger_.end_destination();
+}
+
+void ResourceManager::cancel_pending_replication(FileId file) {
+  pending_incoming_.erase(file);
+  trigger_.end_destination();
+}
+
+Status ResourceManager::delete_replica(FileId file) {
+  const Status s = disk_.remove(file);
+  if (!s.is_ok()) return s;
+  occupancy_.remove_file(directory_.get(file).duration());
+  heat_.forget(file);
+  last_access_.erase(file);
+  stored_at_.erase(file);
+  ++counters_.replicas_deleted;
+  return Status::ok();
+}
+
+void ResourceManager::fail() {
+  online_ = false;
+  ++epoch_;
+  // Volatile state dies with the host. Disk contents (replicas), and the
+  // occupation statistics derived from them, survive the reboot — except
+  // torn writes, whose reserved space is rolled back like a journal replay
+  // so a recovery re-registration can never advertise a half-written file.
+  for (const FileId f : pending_writes_) {
+    if (disk_.contains(f)) (void)disk_.remove(f);
+  }
+  pending_writes_.clear();
+  for (const storage::Flow& f : group_.flows().snapshot()) group_.remove_flow(f.id);
+  sync_ledger();
+  for (const storage::Flow& f : replication_lane_.snapshot()) replication_lane_.remove(f.id);
+  sessions_.clear();
+  pending_incoming_.clear();
+  last_access_.clear();
+  history_ = core::TwoQueueHistory{params_.history};
+  heat_ = core::FileHeat{};
+  trigger_ = core::ReplicationTrigger{replication_cfg_};
+}
+
+void ResourceManager::recover() { online_ = true; }
+
+SimTime ResourceManager::last_access_of(FileId file) const {
+  const auto it = last_access_.find(file);
+  return it == last_access_.end() ? SimTime::zero() : it->second;
+}
+
+SimTime ResourceManager::stored_at_of(FileId file) const {
+  const auto it = stored_at_.find(file);
+  return it == stored_at_.end() ? SimTime::zero() : it->second;
+}
+
+bool ResourceManager::has_active_flow_for(FileId file) const {
+  for (const storage::Flow& f : group_.flows().snapshot()) {
+    if (f.file == file) return true;
+  }
+  return false;
+}
+
+}  // namespace sqos::dfs

@@ -1,0 +1,263 @@
+#include "exp/experiment.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "dfs/cluster.hpp"
+#include "util/logging.hpp"
+#include "util/stats_accum.hpp"
+#include "util/table.hpp"
+#include "workload/request_scheduler.hpp"
+#include "workload/trace.hpp"
+
+namespace sqos::exp {
+namespace {
+
+[[noreturn]] void die(const Status& status, const char* phase) {
+  std::fprintf(stderr, "experiment: %s failed: %s\n", phase, status.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentParams& params) {
+  Rng root{params.seed};
+
+  // Catalog & cluster.
+  Rng catalog_rng = root.fork("catalog");
+  dfs::FileDirectory directory = workload::generate_catalog(params.catalog, catalog_rng);
+
+  dfs::ClusterConfig config = params.cluster.value_or(paper_cluster_config());
+  config.mode = params.mode;
+  config.policy = params.policy;
+  config.replication = params.replication;
+  config.deletion = params.deletion;
+  config.negotiation = params.negotiation;
+  config.seed = root.fork("cluster").seed();
+
+  auto built = dfs::Cluster::build(std::move(config), std::move(directory));
+  if (!built.is_ok()) die(built.status(), "cluster build");
+  dfs::Cluster& cluster = *built.value();
+
+  // Static placement, then the §III.B initialization protocol.
+  Rng placement_rng = root.fork("placement");
+  const Status placed = workload::place_static_replicas(cluster, params.placement, placement_rng);
+  if (!placed.is_ok()) die(placed, "static placement");
+  cluster.start();
+
+  // Access pattern: generated per seed, or replayed from a saved trace.
+  std::vector<workload::AccessEvent> pattern;
+  SimTime pattern_duration = paper_pattern_params(params.users).duration;
+  if (params.trace_path.has_value()) {
+    auto loaded = workload::load_trace(*params.trace_path);
+    if (!loaded.is_ok()) die(loaded.status(), "trace load");
+    pattern = std::move(loaded).take();
+    if (!pattern.empty()) pattern_duration = pattern.back().time;
+  } else {
+    Rng pattern_rng = root.fork("pattern");
+    pattern = workload::generate_pattern(cluster.directory(),
+                                         paper_pattern_params(params.users), pattern_rng);
+  }
+
+  workload::RequestScheduler scheduler{cluster, std::move(pattern)};
+  scheduler.schedule(params.start_offset);
+
+  const SimTime pattern_end = params.start_offset + pattern_duration;
+  cluster.gc().start(pattern_end);
+  std::unique_ptr<stats::RmMonitor> monitor;
+  if (params.monitor_interval > SimTime::zero()) {
+    monitor = std::make_unique<stats::RmMonitor>(cluster, params.monitor_interval);
+    monitor->start(pattern_end);
+  }
+
+  // Run through the arrival window, then drain the in-flight transfers and
+  // replication rounds so the ledgers integrate complete streams.
+  cluster.simulator().run_until(pattern_end);
+  cluster.simulator().run();
+  if (!scheduler.drained()) {
+    die(Status::internal("scheduler not drained after event queue emptied"), "drain");
+  }
+
+  // Metric extraction.
+  ExperimentResult result;
+  const SimTime end = cluster.simulator().now();
+  result.simulated_seconds = end.as_seconds();
+  result.per_rm = stats::collect_rm_summaries(cluster, end);
+  result.overallocate_ratio = stats::aggregate_overallocate_ratio(result.per_rm);
+
+  result.requests = scheduler.dispatched();
+  result.completed = scheduler.completed();
+  result.failed = scheduler.failed();
+  result.fail_rate = scheduler.fail_rate();
+
+  const dfs::ReplicationAgent::Counters& rep = cluster.replication().counters();
+  result.replication_rounds = rep.rounds_started;
+  result.copies_completed = rep.copies_completed;
+  result.destination_rejects = rep.destination_rejects;
+  result.self_deletes = rep.self_deletes;
+  result.bytes_copied = rep.bytes_copied;
+  result.final_total_replicas = cluster.mm().total_replicas();
+  result.gc_deletes = cluster.gc().counters().deletes_approved;
+  result.gc_bytes_reclaimed = cluster.gc().counters().bytes_reclaimed;
+
+  result.control_messages = cluster.network().stats().total_messages;
+  result.control_bytes = cluster.network().stats().total_bytes;
+  std::uint64_t negotiation_us = 0;
+  std::uint64_t negotiations = 0;
+  for (std::size_t c = 0; c < cluster.client_count(); ++c) {
+    negotiation_us += cluster.client(c).counters().negotiation_us_sum;
+    negotiations += cluster.client(c).counters().negotiations;
+  }
+  result.mean_negotiation_ms =
+      negotiations == 0 ? 0.0
+                        : static_cast<double>(negotiation_us) /
+                              static_cast<double>(negotiations) / 1000.0;
+  for (std::size_t s = 0; s < cluster.mm().shard_count(); ++s) {
+    const std::uint64_t received =
+        cluster.network().node_received(cluster.mm().shard(s).node_id()).total_messages;
+    result.mm_messages += received;
+    result.mm_shard_messages.push_back(received);
+  }
+
+  if (monitor != nullptr) {
+    result.rm_series.resize(cluster.rm_count());
+    for (std::size_t rm = 0; rm < cluster.rm_count(); ++rm) {
+      const std::vector<double> series = monitor->series(rm);
+      result.rm_series[rm].reserve(series.size());
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        result.rm_series[rm].push_back(
+            TimeSeriesPoint{monitor->samples()[i].time.as_seconds(), series[i]});
+      }
+    }
+  }
+  return result;
+}
+
+ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds) {
+  if (seeds == 0) seeds = 1;
+  ExperimentResult avg;
+  const std::uint64_t base_seed = params.seed;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    params.seed = base_seed + s;
+    ExperimentResult r = run_experiment(params);
+    if (s == 0) {
+      avg = std::move(r);
+      continue;
+    }
+    avg.fail_rate += r.fail_rate;
+    avg.overallocate_ratio += r.overallocate_ratio;
+    for (std::size_t i = 0; i < avg.per_rm.size(); ++i) {
+      avg.per_rm[i].assigned_bytes += r.per_rm[i].assigned_bytes;
+      avg.per_rm[i].overallocated_bytes += r.per_rm[i].overallocated_bytes;
+      avg.per_rm[i].overallocate_ratio += r.per_rm[i].overallocate_ratio;
+    }
+    avg.requests += r.requests;
+    avg.completed += r.completed;
+    avg.failed += r.failed;
+    avg.replication_rounds += r.replication_rounds;
+    avg.copies_completed += r.copies_completed;
+    avg.destination_rejects += r.destination_rejects;
+    avg.self_deletes += r.self_deletes;
+    avg.bytes_copied += r.bytes_copied;
+    avg.final_total_replicas += r.final_total_replicas;
+    avg.gc_deletes += r.gc_deletes;
+    avg.gc_bytes_reclaimed += r.gc_bytes_reclaimed;
+    avg.control_messages += r.control_messages;
+    avg.control_bytes += r.control_bytes;
+    avg.mm_messages += r.mm_messages;
+    avg.mean_negotiation_ms += r.mean_negotiation_ms;
+    avg.simulated_seconds += r.simulated_seconds;
+  }
+  const double n = static_cast<double>(seeds);
+  avg.fail_rate /= n;
+  avg.overallocate_ratio /= n;
+  for (auto& rm : avg.per_rm) {
+    rm.assigned_bytes /= n;
+    rm.overallocated_bytes /= n;
+    rm.overallocate_ratio /= n;
+  }
+  const auto avg_u64 = [n](std::uint64_t v) {
+    return static_cast<std::uint64_t>(static_cast<double>(v) / n + 0.5);
+  };
+  avg.requests = avg_u64(avg.requests);
+  avg.completed = avg_u64(avg.completed);
+  avg.failed = avg_u64(avg.failed);
+  avg.replication_rounds = avg_u64(avg.replication_rounds);
+  avg.copies_completed = avg_u64(avg.copies_completed);
+  avg.destination_rejects = avg_u64(avg.destination_rejects);
+  avg.self_deletes = avg_u64(avg.self_deletes);
+  avg.bytes_copied = avg_u64(avg.bytes_copied);
+  avg.gc_deletes = avg_u64(avg.gc_deletes);
+  avg.gc_bytes_reclaimed = avg_u64(avg.gc_bytes_reclaimed);
+  avg.final_total_replicas = static_cast<std::size_t>(
+      static_cast<double>(avg.final_total_replicas) / n + 0.5);
+  avg.control_messages = avg_u64(avg.control_messages);
+  avg.control_bytes = avg_u64(avg.control_bytes);
+  avg.mm_messages = avg_u64(avg.mm_messages);
+  avg.mean_negotiation_ms /= n;
+  avg.simulated_seconds /= n;
+  return avg;
+}
+
+SpreadResult run_spread(ExperimentParams params, std::size_t seeds) {
+  if (seeds == 0) seeds = 1;
+  StatsAccumulator fail;
+  StatsAccumulator over;
+  const std::uint64_t base_seed = params.seed;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    params.seed = base_seed + s;
+    const ExperimentResult r = run_experiment(params);
+    fail.add(r.fail_rate);
+    over.add(r.overallocate_ratio);
+  }
+  const auto spread = [seeds](const StatsAccumulator& a) {
+    MetricSpread m;
+    m.mean = a.mean();
+    m.stddev = a.stddev();
+    m.min = a.min();
+    m.max = a.max();
+    m.seeds = seeds;
+    return m;
+  };
+  return SpreadResult{spread(fail), spread(over)};
+}
+
+std::string summarize(const ExperimentResult& r) {
+  std::string out;
+  char buf[256];
+  const auto line = [&](const char* fmt, auto... args) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buf, sizeof buf, fmt, args...);
+#pragma GCC diagnostic pop
+    out += buf;
+    out += '\n';
+  };
+  line("simulated time        : %.0f s", r.simulated_seconds);
+  line("requests              : %llu (%llu completed, %llu failed)",
+       static_cast<unsigned long long>(r.requests), static_cast<unsigned long long>(r.completed),
+       static_cast<unsigned long long>(r.failed));
+  line("fail rate             : %s", format_percent(r.fail_rate).c_str());
+  line("over-allocate ratio   : %s", format_percent(r.overallocate_ratio).c_str());
+  line("mean negotiation time : %.3f ms", r.mean_negotiation_ms);
+  line("control messages      : %llu (%llu at the matchmaker)",
+       static_cast<unsigned long long>(r.control_messages),
+       static_cast<unsigned long long>(r.mm_messages));
+  if (r.replication_rounds > 0) {
+    line("replication           : %llu rounds, %llu copies, %llu migrations, %llu rejects",
+         static_cast<unsigned long long>(r.replication_rounds),
+         static_cast<unsigned long long>(r.copies_completed),
+         static_cast<unsigned long long>(r.self_deletes),
+         static_cast<unsigned long long>(r.destination_rejects));
+    line("data moved            : %.1f MiB, final replica count %zu",
+         static_cast<double>(r.bytes_copied) / (1024.0 * 1024.0), r.final_total_replicas);
+  }
+  if (r.gc_deletes > 0) {
+    line("gc                    : %llu replicas reclaimed (%.1f MiB)",
+         static_cast<unsigned long long>(r.gc_deletes),
+         static_cast<double>(r.gc_bytes_reclaimed) / (1024.0 * 1024.0));
+  }
+  return out;
+}
+
+}  // namespace sqos::exp

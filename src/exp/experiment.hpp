@@ -1,0 +1,124 @@
+// Experiment runner: builds the paper environment for one configuration,
+// replays the generated access pattern, and extracts every metric the
+// evaluation section reports. Bench binaries are thin sweeps over this.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/qos_types.hpp"
+#include "core/replication_config.hpp"
+#include "core/selection_policy.hpp"
+#include "dfs/cluster_config.hpp"
+#include "exp/paper_setup.hpp"
+#include "stats/qos_metrics.hpp"
+#include "stats/rm_monitor.hpp"
+#include "util/error.hpp"
+
+namespace sqos::exp {
+
+struct ExperimentParams {
+  std::size_t users = 256;
+  core::AllocationMode mode = core::AllocationMode::kFirm;
+  core::PolicyWeights policy = core::PolicyWeights::p100();
+  core::ReplicationConfig replication;  // default: static only
+  core::DeletionConfig deletion;        // default: no GC
+  dfs::NegotiationModel negotiation = dfs::NegotiationModel::kEcnp;
+  std::uint64_t seed = 1;
+
+  /// Paper defaults; override for ablations.
+  workload::CatalogParams catalog = paper_catalog_params();
+  workload::PlacementParams placement = paper_placement_params();
+  std::optional<dfs::ClusterConfig> cluster;  // default: paper_cluster_config()
+
+  /// Replay a saved trace (workload::save_trace format) instead of
+  /// generating arrivals — the paper's fixed-pattern comparison methodology.
+  /// `users` is ignored when set.
+  std::optional<std::string> trace_path;
+
+  /// Sampling interval for the bandwidth time series; zero disables the
+  /// monitor (tables don't need it, figures do).
+  SimTime monitor_interval = SimTime::zero();
+
+  /// Request replay starts after the registration protocol settles.
+  SimTime start_offset = SimTime::seconds(5.0);
+};
+
+struct TimeSeriesPoint {
+  double time_s = 0.0;
+  double value_bps = 0.0;
+};
+
+struct ExperimentResult {
+  // Scalar QoS metrics.
+  double fail_rate = 0.0;             // firm RT criterion
+  double overallocate_ratio = 0.0;    // soft RT criterion (ΣS_OA / ΣS_TA)
+  std::vector<stats::RmQosSummary> per_rm;
+
+  // Workload bookkeeping.
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+
+  // Replication activity.
+  std::uint64_t replication_rounds = 0;
+  std::uint64_t copies_completed = 0;
+  std::uint64_t destination_rejects = 0;
+  std::uint64_t self_deletes = 0;
+  std::uint64_t bytes_copied = 0;
+  std::size_t final_total_replicas = 0;
+
+  // Garbage collection.
+  std::uint64_t gc_deletes = 0;
+  std::uint64_t gc_bytes_reclaimed = 0;
+
+  // Control-plane traffic.
+  std::uint64_t control_messages = 0;
+  std::uint64_t control_bytes = 0;
+  std::uint64_t mm_messages = 0;  // messages received by the matchmaker(s)
+  std::vector<std::uint64_t> mm_shard_messages;  // per-shard matchmaker load
+  double mean_negotiation_ms = 0.0;  // open -> winner selection latency
+
+  // Optional bandwidth time series (one per RM) when the monitor ran.
+  std::vector<std::vector<TimeSeriesPoint>> rm_series;
+
+  double simulated_seconds = 0.0;
+};
+
+/// Run one experiment. Aborts (CHECK-style) on configuration errors — an
+/// experiment binary with a bad setup must fail loudly, not produce numbers.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentParams& params);
+
+/// Run `seeds` experiments differing only in seed and average the scalar and
+/// per-RM metrics (the counters are averaged too, rounded). Series come from
+/// the first seed.
+[[nodiscard]] ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds);
+
+/// One-screen human-readable summary (scalar metrics, workload accounting,
+/// replication/GC activity, control-plane traffic).
+[[nodiscard]] std::string summarize(const ExperimentResult& result);
+
+/// Distribution of one scalar metric across seeds.
+struct MetricSpread {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t seeds = 0;
+};
+
+struct SpreadResult {
+  MetricSpread fail_rate;
+  MetricSpread overallocate_ratio;
+};
+
+/// Run `seeds` experiments and report the metric distributions — the paper
+/// reports single runs, so the spread quantifies how much weight a single
+/// cell can carry.
+[[nodiscard]] SpreadResult run_spread(ExperimentParams params, std::size_t seeds);
+
+}  // namespace sqos::exp

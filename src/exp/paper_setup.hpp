@@ -1,0 +1,39 @@
+// The paper's §VI.A experimental environment, as configuration factories.
+//
+// 25 Xen VMs on 5 physical machines (16 MB/s sustained local disk each):
+// 16 RMs, 1 MM, 8 DFSCs. Imbalanced resource deployment: RM1 and RM9 are
+// extra-large (128 Mbit/s); RM2, RM3, RM10, RM11 get 19 Mbit/s; the rest
+// 18 Mbit/s. Workload: 1,000 video files, 3 static replicas placed randomly,
+// 2 h of negative-exponential arrivals with a 300 s per-user mean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dfs/cluster_config.hpp"
+#include "workload/access_pattern.hpp"
+#include "workload/placement.hpp"
+#include "workload/video_catalog.hpp"
+
+namespace sqos::exp {
+
+/// Indices (0-based) of the extra-large RMs: RM1 and RM9.
+[[nodiscard]] std::vector<std::size_t> paper_large_rm_indices();
+
+/// Indices of the 14 small RMs (RM2–8, RM10–16).
+[[nodiscard]] std::vector<std::size_t> paper_small_rm_indices();
+
+/// The 5-machine / 16-RM topology. Mode, policy, replication and seed are
+/// left at their defaults for the caller to fill in.
+[[nodiscard]] dfs::ClusterConfig paper_cluster_config();
+
+/// Catalog parameters matching §VI (1,000 videos).
+[[nodiscard]] workload::CatalogParams paper_catalog_params();
+
+/// Access-pattern parameters for `users` users (2 h, β = 300 s).
+[[nodiscard]] workload::PatternParams paper_pattern_params(std::size_t users);
+
+/// Static placement: 3 replicas.
+[[nodiscard]] workload::PlacementParams paper_placement_params();
+
+}  // namespace sqos::exp

@@ -1,0 +1,13 @@
+#include "net/latency_model.hpp"
+
+namespace sqos::net {
+
+SimTime LatencyModel::sample(Bytes size) {
+  SimTime latency = params_.base + params_.link_rate.time_to_transfer(size);
+  if (params_.jitter_mean > SimTime::zero()) {
+    latency += SimTime::seconds(rng_.exponential(params_.jitter_mean.as_seconds()));
+  }
+  return latency;
+}
+
+}  // namespace sqos::net

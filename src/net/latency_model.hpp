@@ -1,0 +1,34 @@
+// Control-message latency model.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::net {
+
+/// Latency = base + size/link_rate + exponential jitter. The paper's testbed
+/// is a LAN between Xen VMs; sub-millisecond control latency with light jitter
+/// models it while keeping event ordering realistic (bids do not all arrive
+/// at the same instant).
+class LatencyModel {
+ public:
+  struct Params {
+    SimTime base = SimTime::micros(200);
+    Bandwidth link_rate = Bandwidth::mbps(1000.0);  // GbE control path
+    SimTime jitter_mean = SimTime::micros(50);      // 0 disables jitter
+  };
+
+  LatencyModel(Params params, Rng rng) : params_{params}, rng_{std::move(rng)} {}
+
+  /// Latency for one message of `size` bytes.
+  [[nodiscard]] SimTime sample(Bytes size);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Rng rng_;
+};
+
+}  // namespace sqos::net

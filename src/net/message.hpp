@@ -1,0 +1,70 @@
+// Control-plane message taxonomy.
+//
+// Every ECNP control message travelling on the simulated fabric is tagged
+// with a MessageKind so the network can account traffic per message type.
+// This is what lets the ablation benchmark quantify the paper's claim that
+// ECNP "avoids excessive redundant messages" versus plain CNP broadcast.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sqos::net {
+
+enum class MessageKind : std::uint8_t {
+  // Resource exploration phase.
+  kRegister = 0,      // RM -> MM: register managed resources
+  kRegisterAck,       // MM -> RM
+  kResourceQuery,     // DFSC -> MM: which RMs hold replicas of file F?
+  kResourceReply,     // MM -> DFSC: eligible RM list
+  kResourceUpdate,    // RM -> MM: periodic/remaining-bandwidth refresh
+  // Resource negotiation phase.
+  kCfp,               // DFSC -> RM: call-for-proposal
+  kBid,               // RM -> DFSC: bid response (every RM answers; see §III.B)
+  // Data communication phase (control part; payload moves as a storage flow).
+  kDataRequest,       // DFSC -> RM: start transfer with allocated bandwidth
+  kDataComplete,      // RM -> DFSC: transfer finished
+  kRelease,           // DFSC -> RM: free allocated bandwidth early
+  // Dynamic replication.
+  kReplicaListQuery,  // source RM -> MM: RMs *without* a replica of F
+  kReplicaListReply,  // MM -> source RM
+  kReplicationRequest,// source RM -> destination RM
+  kReplicationAccept, // destination RM -> source RM
+  kReplicationReject, // destination RM -> source RM
+  kReplicationDone,   // destination RM -> MM: new replica available
+  kReplicaDelete,     // RM -> MM: replica removed (over-bound self-delete)
+  // Replica garbage collection (§III.B deletion discussion).
+  kDeleteRequest,     // RM -> MM: may I drop my idle replica of F?
+  kDeleteReply,       // MM -> RM: approval/denial (MM arbitrates the floor)
+  kCount,             // sentinel
+};
+
+inline constexpr std::size_t kMessageKindCount = static_cast<std::size_t>(MessageKind::kCount);
+
+[[nodiscard]] constexpr std::string_view to_string(MessageKind k) {
+  switch (k) {
+    case MessageKind::kRegister: return "register";
+    case MessageKind::kRegisterAck: return "register-ack";
+    case MessageKind::kResourceQuery: return "resource-query";
+    case MessageKind::kResourceReply: return "resource-reply";
+    case MessageKind::kResourceUpdate: return "resource-update";
+    case MessageKind::kCfp: return "cfp";
+    case MessageKind::kBid: return "bid";
+    case MessageKind::kDataRequest: return "data-request";
+    case MessageKind::kDataComplete: return "data-complete";
+    case MessageKind::kRelease: return "release";
+    case MessageKind::kReplicaListQuery: return "replica-list-query";
+    case MessageKind::kReplicaListReply: return "replica-list-reply";
+    case MessageKind::kReplicationRequest: return "replication-request";
+    case MessageKind::kReplicationAccept: return "replication-accept";
+    case MessageKind::kReplicationReject: return "replication-reject";
+    case MessageKind::kReplicationDone: return "replication-done";
+    case MessageKind::kReplicaDelete: return "replica-delete";
+    case MessageKind::kDeleteRequest: return "delete-request";
+    case MessageKind::kDeleteReply: return "delete-reply";
+    case MessageKind::kCount: break;
+  }
+  return "unknown";
+}
+
+}  // namespace sqos::net

@@ -1,0 +1,89 @@
+// Simulated control-plane fabric.
+//
+// Components register a NodeId; messages are delivered as simulator events
+// after a sampled latency, carrying their typed payload in the delivery
+// closure. The network keeps complete per-kind and per-node traffic
+// statistics — the measurement substrate for the ECNP-vs-CNP ablation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "net/latency_model.hpp"
+#include "net/message.hpp"
+#include "net/node_id.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace sqos::net {
+
+struct TrafficStats {
+  std::array<std::uint64_t, kMessageKindCount> count_by_kind{};
+  std::array<std::uint64_t, kMessageKindCount> bytes_by_kind{};
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t dropped_messages = 0;  // lost on partitioned links
+
+  [[nodiscard]] std::uint64_t count(MessageKind k) const {
+    return count_by_kind[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t bytes(MessageKind k) const {
+    return bytes_by_kind[static_cast<std::size_t>(k)];
+  }
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, LatencyModel latency)
+      : sim_{simulator}, latency_{std::move(latency)} {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register an endpoint; `name` is for diagnostics only.
+  [[nodiscard]] NodeId register_node(std::string name);
+
+  /// Send a control message. `on_deliver` runs at the receiver after the
+  /// sampled latency; it typically captures the typed payload and calls the
+  /// receiving component's handler. Messages on a partitioned link are
+  /// silently dropped (still accounted as sent — the sender did the work).
+  void send(NodeId from, NodeId to, MessageKind kind, Bytes size, sim::EventFn on_deliver);
+
+  /// Fault injection: cut or restore the (bidirectional) link between two
+  /// endpoints. Messages crossing a cut link are lost without notification —
+  /// senders discover the partition only through their own timeouts.
+  void set_link_down(NodeId a, NodeId b);
+  void set_link_up(NodeId a, NodeId b);
+  [[nodiscard]] bool link_up(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const TrafficStats& stats() const { return stats_; }
+  [[nodiscard]] const TrafficStats& node_sent(NodeId id) const;
+  [[nodiscard]] const TrafficStats& node_received(NodeId id) const;
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const { return names_.size(); }
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+
+  /// Reset traffic counters (topology is kept). Used between warm-up and the
+  /// measured phase of an experiment.
+  void reset_stats();
+
+ private:
+  void account(TrafficStats& s, MessageKind kind, Bytes size);
+
+  [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
+
+  sim::Simulator& sim_;
+  LatencyModel latency_;
+  TrafficStats stats_;
+  std::vector<std::string> names_;
+  std::vector<TrafficStats> sent_;
+  std::vector<TrafficStats> received_;
+  std::unordered_set<std::uint64_t> down_links_;
+};
+
+}  // namespace sqos::net

@@ -1,0 +1,39 @@
+// Node identity on the simulated fabric.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sqos::net {
+
+/// Identifies one endpoint (an MM, RM or DFSC instance). Ids are dense and
+/// assigned by the Network at registration time.
+class NodeId {
+ public:
+  constexpr NodeId() = default;
+  explicit constexpr NodeId(std::uint32_t v) : v_{v} {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return v_; }
+  [[nodiscard]] constexpr bool is_valid() const { return v_ != kInvalid; }
+
+  constexpr auto operator<=>(const NodeId&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    return is_valid() ? "node" + std::to_string(v_) : "node<invalid>";
+  }
+
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+ private:
+  std::uint32_t v_ = kInvalid;
+};
+
+}  // namespace sqos::net
+
+template <>
+struct std::hash<sqos::net::NodeId> {
+  std::size_t operator()(const sqos::net::NodeId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

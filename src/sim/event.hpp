@@ -1,0 +1,35 @@
+// Event records for the discrete-event kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/sim_time.hpp"
+
+namespace sqos::sim {
+
+/// Opaque handle used to cancel a scheduled event. Value 0 is never issued.
+enum class EventId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t to_underlying(EventId id) {
+  return static_cast<std::uint64_t>(id);
+}
+
+/// The callback type executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Internal queue record. Ordering is (time, sequence): two events at the
+/// same instant fire in scheduling order, which keeps runs deterministic.
+struct Event {
+  SimTime time;
+  std::uint64_t seq = 0;
+  EventId id{};
+  EventFn fn;
+
+  [[nodiscard]] friend bool operator>(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace sqos::sim

@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace sqos::sim {
+
+void EventQueue::push(Event event) {
+  pending_.insert(to_underlying(event.id));
+  heap_.push_back(std::move(event));
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  ++live_;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const auto id = to_underlying(heap_.front().id);
+    if (cancelled_.erase(id) == 0) return;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    heap_.pop_back();
+  }
+}
+
+bool EventQueue::pop(Event& out) {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  out = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(to_underlying(out.id));
+  --live_;
+  return true;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto raw = to_underlying(id);
+  if (pending_.erase(raw) == 0) return false;
+  cancelled_.insert(raw);
+  --live_;
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  return heap_.empty() ? SimTime::max() : heap_.front().time;
+}
+
+bool EventQueue::empty() {
+  drop_cancelled_top();
+  return heap_.empty();
+}
+
+}  // namespace sqos::sim

@@ -1,0 +1,40 @@
+// Pending-event priority queue with lazy cancellation.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace sqos::sim {
+
+/// Min-heap on (time, seq). Cancellation is lazy: cancelled ids are recorded
+/// in a side set and their records dropped when they surface, so cancel() is
+/// O(1) and pop() stays O(log n) amortized.
+class EventQueue {
+ public:
+  void push(Event event);
+
+  /// Pop the earliest non-cancelled event; returns false when empty.
+  [[nodiscard]] bool pop(Event& out);
+
+  /// Mark an event cancelled; returns false if the id is not pending.
+  bool cancel(EventId id);
+
+  /// Earliest pending (non-cancelled) time; SimTime::max() when empty.
+  [[nodiscard]] SimTime next_time();
+
+  [[nodiscard]] bool empty();
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  void drop_cancelled_top();
+
+  std::vector<Event> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace sqos::sim

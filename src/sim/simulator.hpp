@@ -1,0 +1,65 @@
+// The discrete-event simulator driving every experiment.
+//
+// Single-threaded by design: the paper's metrics are integrals of bandwidth
+// allocations over time, which a deterministic event order reproduces
+// bit-for-bit across runs. (Parallel speed-up comes from running independent
+// experiment configurations as separate processes, not from threading the
+// kernel.)
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must not be in the past).
+  EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedule `fn` after a non-negative delay.
+  EventId schedule_after(SimTime delay, EventFn fn);
+
+  /// Cancel a pending event. Returns false if it already fired or was
+  /// cancelled before.
+  bool cancel(EventId id);
+
+  /// Run until the queue drains or `stop()` is called.
+  void run();
+
+  /// Run events with time <= `deadline`; afterwards now() == deadline (or the
+  /// stop time, if stopped earlier).
+  void run_until(SimTime deadline);
+
+  /// Execute exactly one event if available; returns false when the queue is
+  /// empty.
+  bool step();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  [[nodiscard]] std::size_t pending_events() { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  EventId next_id();
+
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace sqos::sim

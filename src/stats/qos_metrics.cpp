@@ -1,0 +1,41 @@
+#include "stats/qos_metrics.hpp"
+
+namespace sqos::stats {
+
+std::vector<RmQosSummary> collect_rm_summaries(dfs::Cluster& cluster, SimTime end) {
+  std::vector<RmQosSummary> out;
+  out.reserve(cluster.rm_count());
+  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
+    dfs::ResourceManager& rm = cluster.rm(i);
+    rm.ledger().advance_to(end);
+    RmQosSummary s;
+    s.name = rm.name();
+    s.cap_bps = rm.cap().bps();
+    s.assigned_bytes = rm.ledger().assigned_bytes();
+    s.overallocated_bytes = rm.ledger().overallocated_bytes();
+    s.overallocate_ratio = rm.ledger().overallocate_ratio();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double aggregate_overallocate_ratio(const std::vector<RmQosSummary>& summaries) {
+  double assigned = 0.0;
+  double over = 0.0;
+  for (const RmQosSummary& s : summaries) {
+    assigned += s.assigned_bytes;
+    over += s.overallocated_bytes;
+  }
+  return assigned <= 0.0 ? 0.0 : over / assigned;
+}
+
+OpenStats collect_open_stats(dfs::Cluster& cluster) {
+  OpenStats stats;
+  for (std::size_t i = 0; i < cluster.client_count(); ++i) {
+    stats.attempted += cluster.client(i).counters().opens_attempted;
+    stats.failed += cluster.client(i).counters().opens_failed;
+  }
+  return stats;
+}
+
+}  // namespace sqos::stats

@@ -1,0 +1,38 @@
+// End-of-run QoS metric extraction: per-RM and aggregate over-allocate
+// ratios (soft real-time) and fail-rate helpers (firm real-time).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfs/cluster.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::stats {
+
+struct RmQosSummary {
+  std::string name;
+  double cap_bps = 0.0;
+  double assigned_bytes = 0.0;        // S_TA
+  double overallocated_bytes = 0.0;   // S_OA
+  double overallocate_ratio = 0.0;    // R_OA = S_OA / S_TA
+};
+
+/// Advance every RM's ledger to `end` and extract its soft-RT summary.
+[[nodiscard]] std::vector<RmQosSummary> collect_rm_summaries(dfs::Cluster& cluster, SimTime end);
+
+/// System-wide over-allocate ratio: ΣS_OA / ΣS_TA across RMs.
+[[nodiscard]] double aggregate_overallocate_ratio(const std::vector<RmQosSummary>& summaries);
+
+/// Aggregate client open counters across a cluster.
+struct OpenStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t failed = 0;
+  [[nodiscard]] double fail_rate() const {
+    return attempted == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(attempted);
+  }
+};
+
+[[nodiscard]] OpenStats collect_open_stats(dfs::Cluster& cluster);
+
+}  // namespace sqos::stats

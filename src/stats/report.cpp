@@ -1,0 +1,22 @@
+#include "stats/report.hpp"
+
+#include "util/table.hpp"
+
+namespace sqos::stats {
+
+std::string render_rm_report(dfs::Cluster& cluster) {
+  AsciiTable table{"Per-RM state"};
+  table.set_header({"RM", "cap", "allocated", "files", "disk used", "R_OA so far", "online"});
+  const SimTime now = cluster.simulator().now();
+  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
+    dfs::ResourceManager& rm = cluster.rm(i);
+    rm.ledger().advance_to(now);
+    table.add_row({rm.name(), rm.cap().to_string(), rm.allocated().to_string(),
+                   std::to_string(rm.stored_file_count()), rm.disk().used().to_string(),
+                   format_percent(rm.ledger().overallocate_ratio(), 2),
+                   rm.is_online() ? "yes" : "NO"});
+  }
+  return table.render();
+}
+
+}  // namespace sqos::stats

@@ -1,0 +1,14 @@
+// Human-readable cluster reports shared by examples and tools.
+#pragma once
+
+#include <string>
+
+#include "dfs/cluster.hpp"
+
+namespace sqos::stats {
+
+/// Per-RM state table: name, cap, current allocation, stored files, disk
+/// use, over-allocate ratio so far, liveness.
+[[nodiscard]] std::string render_rm_report(dfs::Cluster& cluster);
+
+}  // namespace sqos::stats

@@ -1,0 +1,48 @@
+// Periodic per-RM bandwidth sampling — produces the time series behind the
+// paper's Figs. 4–6.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dfs/cluster.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::stats {
+
+class RmMonitor {
+ public:
+  struct Sample {
+    SimTime time;
+    std::vector<double> allocated_bps;  // one entry per RM, cluster order
+  };
+
+  RmMonitor(dfs::Cluster& cluster, SimTime interval)
+      : cluster_{cluster}, interval_{interval} {}
+
+  RmMonitor(const RmMonitor&) = delete;
+  RmMonitor& operator=(const RmMonitor&) = delete;
+
+  /// Schedule sampling events from the current simulated time until `until`.
+  void start(SimTime until);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// One RM's series (bps over time).
+  [[nodiscard]] std::vector<double> series(std::size_t rm_index) const;
+
+  /// Sum of a set of RMs per sample (aggregated-utilization curves, Fig. 5).
+  [[nodiscard]] std::vector<double> aggregated_series(
+      const std::vector<std::size_t>& rm_indices) const;
+
+  [[nodiscard]] SimTime interval() const { return interval_; }
+
+ private:
+  void sample_once();
+
+  dfs::Cluster& cluster_;
+  SimTime interval_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace sqos::stats

@@ -1,0 +1,24 @@
+#include "storage/bandwidth_ledger.hpp"
+
+#include <cassert>
+
+namespace sqos::storage {
+
+void BandwidthLedger::advance_to(SimTime t) {
+  assert(t >= last_);
+  const double dt = (t - last_).as_seconds();
+  if (dt > 0.0) {
+    assigned_bytes_ += alloc_.bps() * dt;
+    const double over = alloc_ > cap_ ? (alloc_ - cap_).bps() : 0.0;
+    over_bytes_ += over * dt;
+    last_ = t;
+  }
+}
+
+void BandwidthLedger::on_allocation_change(SimTime t, Bandwidth allocated) {
+  advance_to(t);
+  alloc_ = allocated;
+  last_ = t;
+}
+
+}  // namespace sqos::storage

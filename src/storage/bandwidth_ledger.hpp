@@ -1,0 +1,52 @@
+// Time-integrated bandwidth-allocation accounting for one resource manager.
+//
+// Implements the paper's soft real-time metric: the over-allocate ratio
+// R_OA = S_OA / S_TA, where S_OA is the number of bytes allocated beyond the
+// RM's maximum accessible bandwidth and S_TA the total bytes assigned to the
+// RM (§VI.A.1, Fig. 4). Both are integrals of the piecewise-constant
+// allocation signal, accrued exactly on every allocation change.
+#pragma once
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::storage {
+
+class BandwidthLedger {
+ public:
+  BandwidthLedger(Bandwidth cap, SimTime start) : cap_{cap}, last_{start} {}
+
+  /// Record that the RM's total allocation changed to `allocated` at `t`.
+  void on_allocation_change(SimTime t, Bandwidth allocated);
+
+  /// Bring the integrals forward to `t` without changing the allocation.
+  void advance_to(SimTime t);
+
+  /// Total bytes assigned (integral of allocation).
+  [[nodiscard]] double assigned_bytes() const { return assigned_bytes_; }
+
+  /// Bytes assigned in excess of the cap (integral of max(0, alloc - cap)).
+  [[nodiscard]] double overallocated_bytes() const { return over_bytes_; }
+
+  /// Over-allocate ratio R_OA = S_OA / S_TA; zero when nothing was assigned.
+  [[nodiscard]] double overallocate_ratio() const {
+    return assigned_bytes_ <= 0.0 ? 0.0 : over_bytes_ / assigned_bytes_;
+  }
+
+  /// Bytes the device can actually deliver under the cap (integral of
+  /// min(alloc, cap)); assigned - delivered == overallocated.
+  [[nodiscard]] double delivered_bytes() const { return assigned_bytes_ - over_bytes_; }
+
+  [[nodiscard]] Bandwidth cap() const { return cap_; }
+  [[nodiscard]] Bandwidth current_allocation() const { return alloc_; }
+  [[nodiscard]] SimTime last_change() const { return last_; }
+
+ private:
+  Bandwidth cap_;
+  Bandwidth alloc_;
+  SimTime last_;
+  double assigned_bytes_ = 0.0;
+  double over_bytes_ = 0.0;
+};
+
+}  // namespace sqos::storage

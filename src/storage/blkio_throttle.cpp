@@ -1,0 +1,11 @@
+#include "storage/blkio_throttle.hpp"
+
+namespace sqos::storage {
+
+Bandwidth ThrottleGroup::effective_rate(FlowId id) const {
+  const Flow* f = flows_.find(id);
+  if (f == nullptr) return Bandwidth::zero();
+  return f->rate * (1.0 / pressure());
+}
+
+}  // namespace sqos::storage

@@ -1,0 +1,64 @@
+// Model of the cgroups-blkio `blkio.throttle.*_bps_device` mechanism.
+//
+// The paper isolates per-VM disk bandwidth by placing each Xen VM's loop
+// kernel thread into a blkio cgroup with a bps cap. The model here is the
+// idealized semantics of that mechanism: a group's aggregate throughput never
+// exceeds its cap, and when the allocations inside a group oversubscribe the
+// cap, delivery degrades proportionally (work-conserving fair throttling).
+#pragma once
+
+#include <string>
+
+#include "storage/flow.hpp"
+#include "util/units.hpp"
+
+namespace sqos::storage {
+
+class ThrottleGroup {
+ public:
+  ThrottleGroup(std::string name, Bandwidth cap) : name_{std::move(name)}, cap_{cap} {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Bandwidth cap() const { return cap_; }
+
+  /// Total bandwidth currently allocated to flows in this group. May exceed
+  /// the cap under soft real-time allocation.
+  [[nodiscard]] Bandwidth allocated() const { return flows_.total_rate(); }
+
+  /// Bandwidth still allocatable before hitting the cap (never negative).
+  [[nodiscard]] Bandwidth remaining() const {
+    const Bandwidth a = allocated();
+    return a >= cap_ ? Bandwidth::zero() : cap_ - a;
+  }
+
+  /// Oversubscription factor: allocated / cap (1.0 when within cap or idle).
+  [[nodiscard]] double pressure() const {
+    if (!cap_.is_positive()) return 1.0;
+    const double p = allocated() / cap_;
+    return p < 1.0 ? 1.0 : p;
+  }
+
+  /// Rate a flow actually receives from the device: its allocation divided
+  /// by the oversubscription factor.
+  [[nodiscard]] Bandwidth effective_rate(FlowId id) const;
+
+  /// The amount by which current allocation exceeds the cap (0 when within).
+  [[nodiscard]] Bandwidth overflow() const {
+    const Bandwidth a = allocated();
+    return a > cap_ ? a - cap_ : Bandwidth::zero();
+  }
+
+  FlowId add_flow(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now) {
+    return flows_.add(kind, file, rate, now);
+  }
+  bool remove_flow(FlowId id) { return flows_.remove(id); }
+
+  [[nodiscard]] const FlowTable& flows() const { return flows_; }
+
+ private:
+  std::string name_;
+  Bandwidth cap_;
+  FlowTable flows_;
+};
+
+}  // namespace sqos::storage

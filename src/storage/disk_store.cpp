@@ -1,0 +1,40 @@
+#include "storage/disk_store.hpp"
+
+namespace sqos::storage {
+
+Status DiskStore::add(std::uint64_t file, Bytes size) {
+  if (files_.contains(file)) {
+    return Status::already_exists("file " + std::to_string(file) + " already stored");
+  }
+  if (used_ + size > capacity_) {
+    return Status::resource_exhausted("disk full: " + (used_ + size).to_string() + " > " +
+                                      capacity_.to_string());
+  }
+  files_.emplace(file, size);
+  used_ += size;
+  return Status::ok();
+}
+
+Status DiskStore::remove(std::uint64_t file) {
+  const auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Status::not_found("file " + std::to_string(file) + " not stored");
+  }
+  used_ -= it->second;
+  files_.erase(it);
+  return Status::ok();
+}
+
+Bytes DiskStore::size_of(std::uint64_t file) const {
+  const auto it = files_.find(file);
+  return it == files_.end() ? Bytes::zero() : it->second;
+}
+
+std::vector<std::uint64_t> DiskStore::file_keys() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(files_.size());
+  for (const auto& [k, _] : files_) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace sqos::storage

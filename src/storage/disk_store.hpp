@@ -1,0 +1,45 @@
+// Replica storage on one resource manager's virtual disk.
+//
+// Tracks which file replicas a disk holds and its capacity usage; the
+// Rep(1,3)-vs-Rep(1,8) comparison in the paper is precisely about the
+// storage-capacity cost of replication, so capacity accounting is explicit.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/units.hpp"
+
+namespace sqos::storage {
+
+class DiskStore {
+ public:
+  explicit DiskStore(Bytes capacity) : capacity_{capacity} {}
+
+  /// Store a replica of `file` occupying `size` bytes. Fails when the file
+  /// is already present or capacity would be exceeded.
+  [[nodiscard]] Status add(std::uint64_t file, Bytes size);
+
+  /// Remove a replica; fails when absent.
+  [[nodiscard]] Status remove(std::uint64_t file);
+
+  [[nodiscard]] bool contains(std::uint64_t file) const { return files_.contains(file); }
+  [[nodiscard]] Bytes size_of(std::uint64_t file) const;
+
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used() const { return used_; }
+  [[nodiscard]] Bytes free() const { return capacity_ - used_; }
+  [[nodiscard]] std::size_t file_count() const { return files_.size(); }
+
+  /// All stored file keys (unordered).
+  [[nodiscard]] std::vector<std::uint64_t> file_keys() const;
+
+ private:
+  Bytes capacity_;
+  Bytes used_;
+  std::unordered_map<std::uint64_t, Bytes> files_;
+};
+
+}  // namespace sqos::storage

@@ -1,0 +1,42 @@
+#include "storage/flow.hpp"
+
+namespace sqos::storage {
+
+FlowId FlowTable::add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now) {
+  const FlowId id{next_id_++};
+  Flow f;
+  f.id = id;
+  f.kind = kind;
+  f.file = file;
+  f.rate = rate;
+  f.started = now;
+  total_ += rate;
+  flows_.emplace(to_underlying(id), f);
+  return id;
+}
+
+bool FlowTable::remove(FlowId id) {
+  const auto it = flows_.find(to_underlying(id));
+  if (it == flows_.end()) return false;
+  total_ -= it->second.rate;
+  flows_.erase(it);
+  // Guard against negative drift from float accumulation when empty.
+  if (flows_.empty()) total_ = Bandwidth::zero();
+  return true;
+}
+
+bool FlowTable::contains(FlowId id) const { return flows_.contains(to_underlying(id)); }
+
+const Flow* FlowTable::find(FlowId id) const {
+  const auto it = flows_.find(to_underlying(id));
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<Flow> FlowTable::snapshot() const {
+  std::vector<Flow> out;
+  out.reserve(flows_.size());
+  for (const auto& [_, f] : flows_) out.push_back(f);
+  return out;
+}
+
+}  // namespace sqos::storage

@@ -1,0 +1,61 @@
+// Active data-transfer flows.
+//
+// A Flow is a piecewise-constant bandwidth consumer on one throttle group:
+// a user stream (open -> release) or one endpoint of a replication transfer.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::storage {
+
+enum class FlowId : std::uint64_t {};
+
+[[nodiscard]] constexpr std::uint64_t to_underlying(FlowId id) {
+  return static_cast<std::uint64_t>(id);
+}
+
+enum class FlowKind : std::uint8_t {
+  kRead = 0,        // user stream read
+  kWrite,           // user stream write
+  kReplicationIn,   // destination side of a replication copy
+  kReplicationOut,  // source side of a replication copy
+};
+
+struct Flow {
+  FlowId id{};
+  FlowKind kind = FlowKind::kRead;
+  std::uint64_t file = 0;       // opaque file key
+  Bandwidth rate;               // allocated bandwidth
+  SimTime started;
+};
+
+/// Bookkeeping for the set of flows active on one resource manager.
+class FlowTable {
+ public:
+  /// Insert a flow and return its assigned id.
+  FlowId add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now);
+
+  /// Remove a flow; returns false when the id is unknown (already removed).
+  bool remove(FlowId id);
+
+  [[nodiscard]] bool contains(FlowId id) const;
+  [[nodiscard]] const Flow* find(FlowId id) const;
+
+  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] Bandwidth total_rate() const { return total_; }
+
+  /// Snapshot of active flows (unordered).
+  [[nodiscard]] std::vector<Flow> snapshot() const;
+
+ private:
+  std::unordered_map<std::uint64_t, Flow> flows_;
+  Bandwidth total_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace sqos::storage

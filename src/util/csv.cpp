@@ -1,0 +1,43 @@
+#include "util/csv.hpp"
+
+#include <cassert>
+
+namespace sqos {
+
+Result<CsvWriter> CsvWriter::open(const std::string& path, const std::vector<std::string>& header) {
+  CsvWriter w;
+  if (path.empty()) return w;
+  w.out_.open(path, std::ios::trunc);
+  if (!w.out_) return Status::unavailable("cannot open CSV file '" + path + "'");
+  w.columns_ = header.size();
+  w.row(header);
+  w.rows_ = 0;  // header does not count as a data row
+  return w;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!out_.is_open()) return;
+  assert(columns_ == 0 || cells.size() == columns_);
+  bool first = true;
+  for (const auto& c : cells) {
+    if (!first) out_ << ',';
+    out_ << escape(c);
+    first = false;
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(std::string_view cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string{cell};
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace sqos

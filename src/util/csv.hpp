@@ -1,0 +1,42 @@
+// CSV emission for experiment results.
+//
+// Every bench binary prints a human-readable table to stdout and can also
+// mirror the same rows to a CSV file (plots in the paper are regenerated
+// from these files).
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sqos {
+
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row. Pass an empty path to
+  /// create a disabled writer (all writes are no-ops).
+  [[nodiscard]] static Result<CsvWriter> open(const std::string& path,
+                                              const std::vector<std::string>& header);
+
+  [[nodiscard]] static CsvWriter disabled() { return CsvWriter{}; }
+
+  /// Append one row; the cell count must match the header (asserted).
+  void row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] bool is_enabled() const { return out_.is_open(); }
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Quote a cell per RFC 4180 when it contains separators/quotes/newlines.
+  [[nodiscard]] static std::string escape(std::string_view cell);
+
+ private:
+  CsvWriter() = default;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace sqos

@@ -1,0 +1,100 @@
+// Status/Result error propagation.
+//
+// The simulation kernel and the DFS protocol handlers run in tight event
+// loops; error signalling uses explicit status values rather than exceptions
+// (exceptions remain enabled for truly unrecoverable conditions only).
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqos {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,   // no bandwidth / no capacity
+  kFailedPrecondition,  // e.g. open before registration
+  kUnavailable,         // endpoint rejected / busy
+  kOutOfRange,
+  kInternal,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid-argument";
+    case StatusCode::kNotFound: return "not-found";
+    case StatusCode::kAlreadyExists: return "already-exists";
+    case StatusCode::kResourceExhausted: return "resource-exhausted";
+    case StatusCode::kFailedPrecondition: return "failed-precondition";
+    case StatusCode::kUnavailable: return "unavailable";
+    case StatusCode::kOutOfRange: return "out-of-range";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// A status code plus a human-oriented message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message) : code_{code}, message_{std::move(message)} {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status invalid_argument(std::string m) { return {StatusCode::kInvalidArgument, std::move(m)}; }
+  [[nodiscard]] static Status not_found(std::string m) { return {StatusCode::kNotFound, std::move(m)}; }
+  [[nodiscard]] static Status already_exists(std::string m) { return {StatusCode::kAlreadyExists, std::move(m)}; }
+  [[nodiscard]] static Status resource_exhausted(std::string m) { return {StatusCode::kResourceExhausted, std::move(m)}; }
+  [[nodiscard]] static Status failed_precondition(std::string m) { return {StatusCode::kFailedPrecondition, std::move(m)}; }
+  [[nodiscard]] static Status unavailable(std::string m) { return {StatusCode::kUnavailable, std::move(m)}; }
+  [[nodiscard]] static Status out_of_range(std::string m) { return {StatusCode::kOutOfRange, std::move(m)}; }
+  [[nodiscard]] static Status internal(std::string m) { return {StatusCode::kInternal, std::move(m)}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s{sqos::to_string(code_)};
+    if (!message_.empty()) { s += ": "; s += message_; }
+    return s;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_{std::move(value)} {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_{std::move(status)} {     // NOLINT(google-explicit-constructor)
+    assert(!status_.is_ok() && "Result constructed from OK status without a value");
+  }
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& { assert(is_ok()); return *value_; }
+  [[nodiscard]] T& value() & { assert(is_ok()); return *value_; }
+  [[nodiscard]] T&& take() && { assert(is_ok()); return std::move(*value_); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace sqos

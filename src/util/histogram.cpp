@@ -1,0 +1,76 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace sqos {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_{lo}, hi_{hi} {
+  assert(hi > lo);
+  assert(buckets > 0);
+  counts_.resize(buckets, 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto i = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  ++counts_[std::min(i, counts_.size() - 1)];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (cum >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t bar_width) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char buf[128];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) * static_cast<double>(bar_width));
+    std::snprintf(buf, sizeof buf, "[%10.3f, %10.3f) %8zu ", bucket_lo(i), bucket_hi(i), counts_[i]);
+    out += buf;
+    out += std::string(bar, '#');
+    out += '\n';
+  }
+  if (underflow_ > 0) {
+    std::snprintf(buf, sizeof buf, "underflow %zu\n", underflow_);
+    out += buf;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof buf, "overflow %zu\n", overflow_);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace sqos

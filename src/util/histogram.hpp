@@ -1,0 +1,42 @@
+// Fixed-bucket histogram for distribution summaries (latencies, bid scores,
+// replica counts).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sqos {
+
+class Histogram {
+ public:
+  /// `buckets` uniform buckets over [lo, hi); out-of-range samples land in
+  /// saturating under/overflow bins.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+
+  /// Approximate quantile by linear interpolation within the bucket.
+  [[nodiscard]] double quantile(double q) const;
+
+  /// Compact text rendering with proportional bars.
+  [[nodiscard]] std::string render(std::size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+}  // namespace sqos

@@ -1,0 +1,67 @@
+// Minimal leveled logger.
+//
+// Logging inside the event loop is hot-path-sensitive: level filtering is a
+// single atomic load and message formatting only happens when the level is
+// enabled. Output goes to stderr so that table/CSV results on stdout remain
+// machine-readable.
+#pragma once
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sqos {
+
+enum class LogLevel : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Log {
+ public:
+  static void set_level(LogLevel level) { level_.store(static_cast<int>(level), std::memory_order_relaxed); }
+  [[nodiscard]] static LogLevel level() { return static_cast<LogLevel>(level_.load(std::memory_order_relaxed)); }
+  [[nodiscard]] static bool enabled(LogLevel l) { return static_cast<int>(l) >= level_.load(std::memory_order_relaxed); }
+
+  template <typename... Args>
+  static void trace(const char* fmt, Args&&... args) { write(LogLevel::kTrace, fmt, std::forward<Args>(args)...); }
+  template <typename... Args>
+  static void debug(const char* fmt, Args&&... args) { write(LogLevel::kDebug, fmt, std::forward<Args>(args)...); }
+  template <typename... Args>
+  static void info(const char* fmt, Args&&... args) { write(LogLevel::kInfo, fmt, std::forward<Args>(args)...); }
+  template <typename... Args>
+  static void warn(const char* fmt, Args&&... args) { write(LogLevel::kWarn, fmt, std::forward<Args>(args)...); }
+  template <typename... Args>
+  static void error(const char* fmt, Args&&... args) { write(LogLevel::kError, fmt, std::forward<Args>(args)...); }
+
+ private:
+  template <typename... Args>
+  static void write(LogLevel l, const char* fmt, Args&&... args) {
+    if (!enabled(l)) return;
+    std::fprintf(stderr, "[%s] ", tag(l));
+    if constexpr (sizeof...(Args) == 0) {
+      std::fputs(fmt, stderr);
+    } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    }
+    std::fputc('\n', stderr);
+  }
+
+  [[nodiscard]] static const char* tag(LogLevel l) {
+    switch (l) {
+      case LogLevel::kTrace: return "TRACE";
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+  }
+
+  static inline std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
+};
+
+}  // namespace sqos

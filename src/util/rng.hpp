@@ -1,0 +1,66 @@
+// Deterministic random-number generation.
+//
+// All stochastic behaviour in the simulator draws from named xoshiro256**
+// streams derived from a single experiment seed, so every experiment is
+// bit-reproducible regardless of module initialization order.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace sqos {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Derive an independent, reproducible child stream. The same (parent seed,
+  /// name) pair always yields the same stream.
+  [[nodiscard]] Rng fork(std::string_view stream_name) const;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform double in (0, 1) — never exactly 0; used where log(u) is taken.
+  double next_open_double();
+
+  /// Uniform integer in [0, bound) with rejection sampling (no modulo bias).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Negative-exponential variate with the given mean (the paper's NET
+  /// arrival model: f(x) = -beta * ln U).
+  double exponential(double mean);
+
+  /// Log-normal variate parameterized by the mean/sigma of log-space.
+  double log_normal(double mu, double sigma);
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean, double stddev);
+
+  /// Sample an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of an index vector [0, n).
+  [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
+
+  /// Seed this generator was created with (for diagnostics).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0;
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace sqos

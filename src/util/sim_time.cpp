@@ -1,0 +1,13 @@
+#include "util/sim_time.hpp"
+
+#include <cstdio>
+
+namespace sqos {
+
+std::string SimTime::to_string() const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3fs", as_seconds());
+  return buf;
+}
+
+}  // namespace sqos

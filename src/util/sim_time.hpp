@@ -1,0 +1,54 @@
+// Strongly-typed simulated time for the discrete-event kernel.
+//
+// All simulation time is carried as a signed 64-bit count of microseconds.
+// A strong type (rather than a bare int64_t or std::chrono duration) keeps
+// the event-kernel API self-documenting and prevents accidental mixing of
+// wall-clock and simulated time.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+
+namespace sqos {
+
+/// A point in simulated time, measured in microseconds since simulation start.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  /// Named constructors; prefer these over the raw-microsecond factory.
+  [[nodiscard]] static constexpr SimTime micros(std::int64_t us) { return SimTime{us}; }
+  [[nodiscard]] static constexpr SimTime millis(std::int64_t ms) { return SimTime{ms * 1000}; }
+  [[nodiscard]] static constexpr SimTime seconds(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e6)};
+  }
+  [[nodiscard]] static constexpr SimTime minutes(double m) { return seconds(m * 60.0); }
+  [[nodiscard]] static constexpr SimTime hours(double h) { return seconds(h * 3600.0); }
+  [[nodiscard]] static constexpr SimTime zero() { return SimTime{0}; }
+  [[nodiscard]] static constexpr SimTime max() { return SimTime{INT64_MAX}; }
+
+  [[nodiscard]] constexpr std::int64_t as_micros() const { return us_; }
+  [[nodiscard]] constexpr double as_seconds() const { return static_cast<double>(us_) / 1e6; }
+  [[nodiscard]] constexpr double as_minutes() const { return as_seconds() / 60.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime& operator+=(SimTime d) { us_ += d.us_; return *this; }
+  constexpr SimTime& operator-=(SimTime d) { us_ -= d.us_; return *this; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) { return SimTime{a.us_ + b.us_}; }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) { return SimTime{a.us_ - b.us_}; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) { return SimTime{a.us_ * k}; }
+
+  [[nodiscard]] constexpr bool is_negative() const { return us_ < 0; }
+
+  /// Human-readable rendering, e.g. "372.250s".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr SimTime(std::int64_t us) : us_{us} {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace sqos

@@ -1,0 +1,48 @@
+#include "util/stats_accum.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sqos {
+
+void StatsAccumulator::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (x < min_) min_ = x;
+  if (x > max_) max_ = x;
+}
+
+double StatsAccumulator::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+}
+
+double StatsAccumulator::stddev() const { return std::sqrt(variance()); }
+
+void StatsAccumulator::reset() { *this = StatsAccumulator{}; }
+
+void TimeWeightedAccumulator::accrue(SimTime t) {
+  assert(t >= last_time_);
+  integral_ += value_ * (t - last_time_).as_seconds();
+  last_time_ = t;
+}
+
+void TimeWeightedAccumulator::update(SimTime t, double value) {
+  accrue(t);
+  value_ = value;
+}
+
+double TimeWeightedAccumulator::integral_until(SimTime t) {
+  accrue(t);
+  return integral_;
+}
+
+double TimeWeightedAccumulator::average_until(SimTime t) {
+  const double integral = integral_until(t);
+  const double span = (t - start_).as_seconds();
+  return span <= 0.0 ? value_ : integral / span;
+}
+
+}  // namespace sqos

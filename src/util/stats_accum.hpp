@@ -1,0 +1,64 @@
+// Streaming statistics accumulators.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+#include "util/sim_time.hpp"
+
+namespace sqos {
+
+/// Welford mean/variance plus min/max over a stream of samples.
+class StatsAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double variance() const;   // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return n_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted average of a piecewise-constant signal: feed (t, value)
+/// transitions; the integral of the held value accumulates between them.
+class TimeWeightedAccumulator {
+ public:
+  explicit TimeWeightedAccumulator(SimTime start = SimTime::zero())
+      : last_time_{start}, start_{start} {}
+
+  /// Record that the signal changed to `value` at time `t` (t must be
+  /// monotonically non-decreasing).
+  void update(SimTime t, double value);
+
+  /// Integral of the signal from start to `t` (advances internal time).
+  [[nodiscard]] double integral_until(SimTime t);
+
+  /// Time-average of the signal over [start, t].
+  [[nodiscard]] double average_until(SimTime t);
+
+  [[nodiscard]] double current_value() const { return value_; }
+  [[nodiscard]] SimTime last_update() const { return last_time_; }
+
+ private:
+  void accrue(SimTime t);
+
+  SimTime last_time_;
+  SimTime start_;
+  double value_ = 0.0;
+  double integral_ = 0.0;
+};
+
+}  // namespace sqos

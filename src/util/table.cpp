@@ -1,0 +1,67 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sqos {
+
+void AsciiTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void AsciiTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string AsciiTable::render() const {
+  std::size_t columns = header_.size();
+  for (const auto& r : rows_) columns = std::max(columns, r.size());
+  if (columns == 0) return title_.empty() ? std::string{} : title_ + "\n";
+
+  std::vector<std::size_t> width(columns, 0);
+  const auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  };
+  measure(header_);
+  for (const auto& r : rows_) measure(r);
+
+  const auto line = [&] {
+    std::string s = "+";
+    for (const std::size_t w : width) s += std::string(w + 2, '-') + "+";
+    s += '\n';
+    return s;
+  }();
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      s += " " + cell + std::string(width[i] - cell.size(), ' ') + " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += line;
+  if (!header_.empty()) {
+    out += emit_row(header_);
+    out += line;
+  }
+  for (const auto& r : rows_) out += emit_row(r);
+  out += line;
+  return out;
+}
+
+void AsciiTable::print() const { std::fputs(render().c_str(), stdout); }
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_double(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace sqos

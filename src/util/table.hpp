@@ -1,0 +1,35 @@
+// ASCII table rendering in the style of the paper's result tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sqos {
+
+/// Column-aligned text table. Collect rows, then render once.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::string title = {}) : title_{std::move(title)} {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with box-drawing separators; ragged rows are padded.
+  [[nodiscard]] std::string render() const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by table/CSV emitters.
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 3);
+[[nodiscard]] std::string format_double(double v, int decimals = 3);
+
+}  // namespace sqos

@@ -1,0 +1,79 @@
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sqos {
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+}  // namespace
+
+std::string Bytes::to_string() const {
+  char buf[48];
+  if (b_ >= 1024 * 1024) {
+    std::snprintf(buf, sizeof buf, "%.2fMiB", as_mib());
+  } else if (b_ >= 1024) {
+    std::snprintf(buf, sizeof buf, "%.2fKiB", static_cast<double>(b_) / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldB", static_cast<long long>(b_));
+  }
+  return buf;
+}
+
+SimTime Bandwidth::time_to_transfer(Bytes size) const {
+  if (v_ <= 0.0) return SimTime::max();
+  return SimTime::seconds(static_cast<double>(size.count()) / v_);
+}
+
+std::string Bandwidth::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2fMbps", as_mbps());
+  return buf;
+}
+
+Result<Bandwidth> Bandwidth::parse(std::string_view text) {
+  // Split numeric prefix from unit suffix.
+  std::size_t i = 0;
+  while (i < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[i])) != 0 || text[i] == '.' ||
+          text[i] == '-' || text[i] == '+')) {
+    ++i;
+  }
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + i, value);
+  if (ec != std::errc{} || ptr != text.data() + i || i == 0) {
+    return Status::invalid_argument("bad bandwidth number: '" + std::string{text} + "'");
+  }
+  if (value < 0.0) {
+    return Status::invalid_argument("negative bandwidth: '" + std::string{text} + "'");
+  }
+
+  std::string unit = lower(text.substr(i));
+  std::erase(unit, ' ');
+  std::erase(unit, '/');
+  if (!unit.empty() && unit.back() == 's') unit.pop_back();  // "mbp|s", "mb|s", ...
+  // Accept: "mbp"/"mbit"/"mb-bit" styles and byte styles ("mb" means megabytes).
+  if (unit == "mbp" || unit == "mbit" || unit == "mbits") return Bandwidth::mbps(value);
+  if (unit == "kbp" || unit == "kbit" || unit == "kbits") return Bandwidth::kbps(value);
+  if (unit == "gbp" || unit == "gbit" || unit == "gbits") return Bandwidth::mbps(value * 1000.0);
+  if (unit == "bp" || unit == "bit") return Bandwidth::bytes_per_sec(value / 8.0);
+  if (unit == "mb" || unit == "mbyte" || unit == "mbytes") return Bandwidth::mbytes_per_sec(value);
+  if (unit == "kb" || unit == "kbyte" || unit == "kbytes") return Bandwidth::bytes_per_sec(value * 1000.0);
+  if (unit == "gb" || unit == "gbyte" || unit == "gbytes") return Bandwidth::mbytes_per_sec(value * 1000.0);
+  if (unit == "b" || unit == "byte" || unit == "bytes" || unit.empty()) {
+    return Bandwidth::bytes_per_sec(value);
+  }
+  return Status::invalid_argument("unknown bandwidth unit: '" + std::string{text} + "'");
+}
+
+}  // namespace sqos

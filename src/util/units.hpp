@@ -1,0 +1,93 @@
+// Strongly-typed bandwidth and byte-count units.
+//
+// The paper mixes Mbit/s (RM dispatch bandwidth, video bitrates) and MB/s
+// (physical-disk sustained bandwidth); carrying bandwidth as a strong type
+// with explicit named constructors removes an entire class of factor-of-8
+// bugs from the QoS arithmetic.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos {
+
+/// A number of bytes (file sizes, transferred volumes).
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+
+  [[nodiscard]] static constexpr Bytes of(std::int64_t b) { return Bytes{b}; }
+  [[nodiscard]] static constexpr Bytes kib(double k) {
+    return Bytes{static_cast<std::int64_t>(k * 1024.0)};
+  }
+  [[nodiscard]] static constexpr Bytes mib(double m) { return kib(m * 1024.0); }
+  [[nodiscard]] static constexpr Bytes gib(double g) { return mib(g * 1024.0); }
+  [[nodiscard]] static constexpr Bytes zero() { return Bytes{0}; }
+
+  [[nodiscard]] constexpr std::int64_t count() const { return b_; }
+  [[nodiscard]] constexpr double as_mib() const { return static_cast<double>(b_) / (1024.0 * 1024.0); }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+  constexpr Bytes& operator+=(Bytes o) { b_ += o.b_; return *this; }
+  constexpr Bytes& operator-=(Bytes o) { b_ -= o.b_; return *this; }
+  friend constexpr Bytes operator+(Bytes a, Bytes b) { return Bytes{a.b_ + b.b_}; }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) { return Bytes{a.b_ - b.b_}; }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  explicit constexpr Bytes(std::int64_t b) : b_{b} {}
+  std::int64_t b_ = 0;
+};
+
+/// A data rate in bytes per second. Internally double: QoS arithmetic
+/// (bid scores, over-allocation integrals) is real-valued.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() = default;
+
+  [[nodiscard]] static constexpr Bandwidth bytes_per_sec(double v) { return Bandwidth{v}; }
+  [[nodiscard]] static constexpr Bandwidth kbps(double kbits) { return Bandwidth{kbits * 1000.0 / 8.0}; }
+  [[nodiscard]] static constexpr Bandwidth mbps(double mbits) { return kbps(mbits * 1000.0); }
+  [[nodiscard]] static constexpr Bandwidth mbytes_per_sec(double mb) {
+    return Bandwidth{mb * 1000.0 * 1000.0};
+  }
+  [[nodiscard]] static constexpr Bandwidth zero() { return Bandwidth{0.0}; }
+
+  [[nodiscard]] constexpr double bps() const { return v_; }          // bytes/s
+  [[nodiscard]] constexpr double as_mbps() const { return v_ * 8.0 / 1e6; }
+  [[nodiscard]] constexpr double as_mbytes_per_sec() const { return v_ / 1e6; }
+
+  constexpr auto operator<=>(const Bandwidth&) const = default;
+  constexpr Bandwidth& operator+=(Bandwidth o) { v_ += o.v_; return *this; }
+  constexpr Bandwidth& operator-=(Bandwidth o) { v_ -= o.v_; return *this; }
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) { return Bandwidth{a.v_ + b.v_}; }
+  friend constexpr Bandwidth operator-(Bandwidth a, Bandwidth b) { return Bandwidth{a.v_ - b.v_}; }
+  friend constexpr Bandwidth operator*(Bandwidth a, double k) { return Bandwidth{a.v_ * k}; }
+  friend constexpr Bandwidth operator*(double k, Bandwidth a) { return Bandwidth{a.v_ * k}; }
+  friend constexpr double operator/(Bandwidth a, Bandwidth b) { return a.v_ / b.v_; }
+
+  [[nodiscard]] constexpr bool is_positive() const { return v_ > 0.0; }
+
+  /// Bytes moved at this rate over `dt` (piecewise-constant integration step).
+  [[nodiscard]] constexpr double bytes_over(SimTime dt) const { return v_ * dt.as_seconds(); }
+
+  /// Time to move `size` at this rate; SimTime::max() when the rate is zero.
+  [[nodiscard]] SimTime time_to_transfer(Bytes size) const;
+
+  /// Rendering, e.g. "18.00Mbps".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parse "18Mbps", "16MB/s", "1.8Mbit/s", "2250KB/s", "512bps".
+  [[nodiscard]] static Result<Bandwidth> parse(std::string_view text);
+
+ private:
+  explicit constexpr Bandwidth(double v) : v_{v} {}
+  double v_ = 0.0;  // bytes per second
+};
+
+}  // namespace sqos

@@ -1,0 +1,33 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace sqos {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : s_{s} {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::size_t ZipfDistribution::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::pmf(std::size_t k) const {
+  assert(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace sqos

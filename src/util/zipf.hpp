@@ -1,0 +1,35 @@
+// Zipf popularity distribution over a finite catalog.
+//
+// The paper samples files "randomly with a probability derived from the file
+// popularity" extracted from YouTube; video popularity is classically
+// Zipf-like, so the synthetic catalog uses a Zipf(s) rank distribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sqos {
+
+/// Precomputed Zipf distribution: P(rank k) ∝ 1 / k^s, ranks 1..n.
+class ZipfDistribution {
+ public:
+  /// `n` must be >= 1; `s` >= 0 (s = 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Sample a 0-based rank (0 = most popular).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  /// Probability mass of 0-based rank `k`.
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  [[nodiscard]] double exponent() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // inclusive cumulative probabilities
+};
+
+}  // namespace sqos

@@ -1,0 +1,95 @@
+#include "workload/access_pattern.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sqos::workload {
+
+PopularitySampler::PopularitySampler(const dfs::FileDirectory& directory) {
+  double total = 0.0;
+  ids_.reserve(directory.size());
+  cdf_.reserve(directory.size());
+  for (const dfs::FileMeta& f : directory.files()) {
+    assert(f.popularity >= 0.0);
+    total += f.popularity;
+    ids_.push_back(f.id);
+    cdf_.push_back(total);
+  }
+  assert(total > 0.0 && "directory has no popularity mass");
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+dfs::FileId PopularitySampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return ids_[static_cast<std::size_t>(it - cdf_.begin())];
+}
+
+std::vector<AccessEvent> generate_shifting_pattern(const dfs::FileDirectory& directory,
+                                                   const ShiftingPatternParams& params,
+                                                   Rng& rng) {
+  assert(params.phases >= 1);
+  assert(params.base.users > 0);
+  assert(params.base.mean_interarrival > SimTime::zero());
+
+  // One sampler per phase: the same popularity *values* are dealt to files
+  // in a fresh random order, so each phase has a hot set of the same shape
+  // in a different place.
+  std::vector<double> popularity;
+  popularity.reserve(directory.size());
+  for (const dfs::FileMeta& f : directory.files()) popularity.push_back(f.popularity);
+
+  std::vector<std::vector<dfs::FileMeta>> phase_files(params.phases);
+  std::vector<PopularitySampler> samplers;
+  samplers.reserve(params.phases);
+  for (std::size_t p = 0; p < params.phases; ++p) {
+    const std::vector<std::size_t> deal = rng.permutation(directory.size());
+    std::vector<dfs::FileMeta> remapped = directory.files();
+    for (std::size_t i = 0; i < remapped.size(); ++i) remapped[i].popularity = popularity[deal[i]];
+    phase_files[p] = std::move(remapped);
+    samplers.emplace_back(dfs::FileDirectory{phase_files[p]});
+  }
+
+  const double phase_len = params.base.duration.as_seconds() / static_cast<double>(params.phases);
+  std::vector<AccessEvent> events;
+  for (std::uint32_t user = 0; user < params.base.users; ++user) {
+    SimTime t = SimTime::zero();
+    for (;;) {
+      t += SimTime::seconds(rng.exponential(params.base.mean_interarrival.as_seconds()));
+      if (t >= params.base.duration) break;
+      const auto phase = std::min(params.phases - 1,
+                                  static_cast<std::size_t>(t.as_seconds() / phase_len));
+      events.push_back(AccessEvent{t, user, samplers[phase].sample(rng)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const AccessEvent& a, const AccessEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.user < b.user;
+  });
+  return events;
+}
+
+std::vector<AccessEvent> generate_pattern(const dfs::FileDirectory& directory,
+                                          const PatternParams& params, Rng& rng) {
+  assert(params.users > 0);
+  assert(params.mean_interarrival > SimTime::zero());
+  const PopularitySampler sampler{directory};
+
+  std::vector<AccessEvent> events;
+  for (std::uint32_t user = 0; user < params.users; ++user) {
+    SimTime t = SimTime::zero();
+    for (;;) {
+      t += SimTime::seconds(rng.exponential(params.mean_interarrival.as_seconds()));
+      if (t >= params.duration) break;
+      events.push_back(AccessEvent{t, user, sampler.sample(rng)});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const AccessEvent& a, const AccessEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.user < b.user;
+  });
+  return events;
+}
+
+}  // namespace sqos::workload

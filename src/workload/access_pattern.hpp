@@ -1,0 +1,62 @@
+// Multi-user access-pattern generation (§VI).
+//
+// Each user draws request inter-arrival times from the paper's negative
+// exponential distribution (f(x) = −β ln U, β = mean arrival time) and picks
+// files "randomly with a probability derived from the file popularity", so
+// popular files are accessed proportionally more often in any interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfs/file_types.hpp"
+#include "util/rng.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::workload {
+
+struct AccessEvent {
+  SimTime time;
+  std::uint32_t user = 0;
+  dfs::FileId file = 0;
+
+  friend bool operator==(const AccessEvent&, const AccessEvent&) = default;
+};
+
+struct PatternParams {
+  std::size_t users = 256;
+  SimTime duration = SimTime::hours(2.0);
+  /// Per-user cumulative mean arrival time β (300 s in the paper).
+  SimTime mean_interarrival = SimTime::seconds(300.0);
+};
+
+/// Generate the merged multi-user pattern, sorted by time (ties broken by
+/// user id for determinism).
+[[nodiscard]] std::vector<AccessEvent> generate_pattern(const dfs::FileDirectory& directory,
+                                                        const PatternParams& params, Rng& rng);
+
+/// Shifting-hotspot variant: the popularity ranking is re-dealt to files at
+/// every phase boundary, so the hot set *moves* during the run — the
+/// workload §V's data migration exists for. Arrival times follow the same
+/// per-user NET process; only the file-choice distribution rotates.
+struct ShiftingPatternParams {
+  PatternParams base;
+  std::size_t phases = 4;  // duration is split into this many equal phases
+};
+
+[[nodiscard]] std::vector<AccessEvent> generate_shifting_pattern(
+    const dfs::FileDirectory& directory, const ShiftingPatternParams& params, Rng& rng);
+
+/// Popularity-weighted file sampler over a directory (shared by the pattern
+/// generator and tests).
+class PopularitySampler {
+ public:
+  explicit PopularitySampler(const dfs::FileDirectory& directory);
+  [[nodiscard]] dfs::FileId sample(Rng& rng) const;
+
+ private:
+  std::vector<dfs::FileId> ids_;
+  std::vector<double> cdf_;  // inclusive cumulative popularity
+};
+
+}  // namespace sqos::workload

@@ -1,0 +1,33 @@
+#include "workload/placement.hpp"
+
+namespace sqos::workload {
+
+Status place_static_replicas(dfs::Cluster& cluster, const PlacementParams& params, Rng& rng) {
+  const std::size_t rm_count = cluster.rm_count();
+  if (params.replicas == 0) return Status::invalid_argument("replicas must be >= 1");
+  if (params.replicas > rm_count) {
+    return Status::invalid_argument("cannot place " + std::to_string(params.replicas) +
+                                    " replicas on " + std::to_string(rm_count) + " RMs");
+  }
+
+  for (const dfs::FileMeta& file : cluster.directory().files()) {
+    const std::vector<std::size_t> order = rng.permutation(rm_count);
+    std::size_t placed = 0;
+    for (std::size_t i = 0; i < rm_count && placed < params.replicas; ++i) {
+      const Status s = cluster.place_replica(order[i], file.id);
+      if (s.is_ok()) {
+        ++placed;
+      } else if (s.code() != StatusCode::kResourceExhausted) {
+        return s;  // capacity pressure falls through to the next RM; other
+                   // failures (duplicate placement) are real bugs
+      }
+    }
+    if (placed < params.replicas) {
+      return Status::resource_exhausted("could not place " + std::to_string(params.replicas) +
+                                        " replicas of file " + std::to_string(file.id));
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace sqos::workload

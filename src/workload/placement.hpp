@@ -1,0 +1,23 @@
+// Initial static replica placement (§VI): every file gets `replicas`
+// replicas distributed uniformly at random across distinct RMs.
+#pragma once
+
+#include <cstddef>
+
+#include "dfs/cluster.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace sqos::workload {
+
+struct PlacementParams {
+  std::size_t replicas = 3;
+};
+
+/// Place `params.replicas` copies of every catalog file on distinct random
+/// RMs of the cluster. Fails when an RM disk fills up or fewer RMs exist
+/// than replicas are requested.
+[[nodiscard]] Status place_static_replicas(dfs::Cluster& cluster, const PlacementParams& params,
+                                           Rng& rng);
+
+}  // namespace sqos::workload

@@ -1,0 +1,61 @@
+#include "workload/trace.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <string_view>
+
+namespace sqos::workload {
+namespace {
+
+constexpr std::string_view kHeader = "# sqos-trace v1";
+
+template <typename T>
+bool parse_field(std::string_view& line, T& out) {
+  while (!line.empty() && line.front() == ' ') line.remove_prefix(1);
+  const auto end = line.find(' ');
+  const std::string_view token = line.substr(0, end);
+  const auto [ptr, ec] = std::from_chars(token.data(), token.data() + token.size(), out);
+  if (ec != std::errc{} || ptr != token.data() + token.size() || token.empty()) return false;
+  line.remove_prefix(end == std::string_view::npos ? line.size() : end + 1);
+  return true;
+}
+
+}  // namespace
+
+Status save_trace(const std::string& path, const std::vector<AccessEvent>& events) {
+  std::ofstream out{path, std::ios::trunc};
+  if (!out) return Status::unavailable("cannot open trace file '" + path + "'");
+  out << kHeader << '\n';
+  for (const AccessEvent& e : events) {
+    out << e.time.as_micros() << ' ' << e.user << ' ' << e.file << '\n';
+  }
+  if (!out) return Status::internal("write failed for '" + path + "'");
+  return Status::ok();
+}
+
+Result<std::vector<AccessEvent>> load_trace(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) return Status::not_found("cannot open trace file '" + path + "'");
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::invalid_argument("'" + path + "' is not a sqos-trace v1 file");
+  }
+  std::vector<AccessEvent> events;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+    std::string_view view{line};
+    std::int64_t time_us = 0;
+    AccessEvent e;
+    if (!parse_field(view, time_us) || !parse_field(view, e.user) || !parse_field(view, e.file)) {
+      return Status::invalid_argument("'" + path + "': malformed line " +
+                                      std::to_string(line_no));
+    }
+    e.time = SimTime::micros(time_us);
+    events.push_back(e);
+  }
+  return events;
+}
+
+}  // namespace sqos::workload

@@ -1,0 +1,24 @@
+// Access-pattern trace persistence.
+//
+// Patterns can be saved to a simple text format and replayed later, so a
+// sweep can hold the workload fixed while varying policies — exactly how the
+// paper compares configurations "using the access pattern of 256 users".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "workload/access_pattern.hpp"
+
+namespace sqos::workload {
+
+/// Write one line per event: `<time_us> <user> <file>`, preceded by a
+/// `# sqos-trace v1` header.
+[[nodiscard]] Status save_trace(const std::string& path, const std::vector<AccessEvent>& events);
+
+/// Parse a trace produced by save_trace. Fails on malformed lines or a
+/// missing/incompatible header.
+[[nodiscard]] Result<std::vector<AccessEvent>> load_trace(const std::string& path);
+
+}  // namespace sqos::workload

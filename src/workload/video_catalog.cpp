@@ -1,0 +1,46 @@
+#include "workload/video_catalog.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "util/zipf.hpp"
+
+namespace sqos::workload {
+
+dfs::FileDirectory generate_catalog(const CatalogParams& params, Rng& rng) {
+  assert(params.file_count > 0);
+  assert(params.bitrate_min_mbps > 0.0);
+  assert(params.bitrate_max_mbps >= params.bitrate_min_mbps);
+  assert(params.duration_max_s >= params.duration_min_s);
+
+  const ZipfDistribution zipf{params.file_count, params.zipf_exponent};
+  // Popularity ranks are dealt to files in random order so that popular
+  // files are not systematically the low-bitrate or small ones.
+  const std::vector<std::size_t> rank_of = rng.permutation(params.file_count);
+
+  std::vector<dfs::FileMeta> files;
+  files.reserve(params.file_count);
+  const double mu = std::log(params.bitrate_median_mbps);
+  for (std::size_t i = 0; i < params.file_count; ++i) {
+    dfs::FileMeta f;
+    f.id = static_cast<dfs::FileId>(i + 1);
+    char name[32];
+    std::snprintf(name, sizeof name, "video-%04zu", i + 1);
+    f.name = name;
+
+    const double mbps = std::clamp(rng.log_normal(mu, params.bitrate_sigma),
+                                   params.bitrate_min_mbps, params.bitrate_max_mbps);
+    f.bitrate = Bandwidth::mbps(mbps);
+
+    const double duration_s = rng.uniform(params.duration_min_s, params.duration_max_s);
+    f.size = Bytes::of(static_cast<std::int64_t>(f.bitrate.bps() * duration_s));
+
+    f.popularity = zipf.pmf(rank_of[i]);
+    files.push_back(std::move(f));
+  }
+  return dfs::FileDirectory{std::move(files)};
+}
+
+}  // namespace sqos::workload

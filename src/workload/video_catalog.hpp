@@ -1,0 +1,40 @@
+// Synthetic video catalog (§VI).
+//
+// The paper uses 1,000 YouTube videos "with different bit rates and
+// popularity ratings". That trace is not redistributable, so the catalog is
+// synthesized with the same statistical shape: log-normal bitrates clamped
+// to the 2012 YouTube range, uniform durations, and Zipf popularity assigned
+// over a random permutation so popularity and bitrate are uncorrelated.
+#pragma once
+
+#include <cstddef>
+
+#include "dfs/file_types.hpp"
+#include "util/rng.hpp"
+
+namespace sqos::workload {
+
+struct CatalogParams {
+  std::size_t file_count = 1000;
+
+  /// Zipf popularity exponent (s = 0 degenerates to uniform popularity).
+  double zipf_exponent = 1.0;
+
+  /// Bitrate distribution: log-normal with the given median (Mbit/s) and
+  /// log-space sigma, clamped to [min, max]. The defaults are calibrated so
+  /// the 256-user pattern stresses the paper topology the way the original
+  /// YouTube trace stressed the testbed (see EXPERIMENTS.md, calibration).
+  double bitrate_median_mbps = 1.4;
+  double bitrate_sigma = 0.5;
+  double bitrate_min_mbps = 0.3;
+  double bitrate_max_mbps = 5.0;
+
+  /// Video length, uniform in [min, max] seconds.
+  double duration_min_s = 120.0;
+  double duration_max_s = 600.0;
+};
+
+/// Generate the catalog. File ids are 1..file_count, names "video-0001"...
+[[nodiscard]] dfs::FileDirectory generate_catalog(const CatalogParams& params, Rng& rng);
+
+}  // namespace sqos::workload

@@ -1,0 +1,95 @@
+#include "core/deletion_policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::core {
+namespace {
+
+DeletionConfig enabled() {
+  DeletionConfig cfg;
+  cfg.enabled = true;
+  cfg.min_replicas = 3;
+  cfg.idle_threshold = SimTime::seconds(600.0);
+  cfg.min_age = SimTime::seconds(120.0);
+  return cfg;
+}
+
+TEST(DeletionPolicy, DisabledNeverDeletes) {
+  const DeletionConfig cfg;  // disabled
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::hours(10.0), 99, SimTime::zero(),
+                                     SimTime::zero(), false));
+}
+
+TEST(DeletionPolicy, DeletesIdleSurplusReplica) {
+  const DeletionConfig cfg = enabled();
+  // 4 replicas, last served 700 s ago, stored 1000 s ago, not an endpoint.
+  EXPECT_TRUE(should_delete_replica(cfg, SimTime::seconds(1000.0), 4, SimTime::seconds(300.0),
+                                    SimTime::zero(), false));
+}
+
+TEST(DeletionPolicy, FloorIsInviolable) {
+  const DeletionConfig cfg = enabled();
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(10'000.0), 3, SimTime::zero(),
+                                     SimTime::zero(), false));
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(10'000.0), 2, SimTime::zero(),
+                                     SimTime::zero(), false));
+}
+
+TEST(DeletionPolicy, RecentAccessBlocks) {
+  const DeletionConfig cfg = enabled();
+  // Last access 500 s ago < 600 s idle threshold.
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(1000.0), 4, SimTime::seconds(500.0),
+                                     SimTime::zero(), false));
+  // Exactly at the threshold: deletable ("at least this long").
+  EXPECT_TRUE(should_delete_replica(cfg, SimTime::seconds(1100.0), 4, SimTime::seconds(500.0),
+                                    SimTime::zero(), false));
+}
+
+TEST(DeletionPolicy, YoungReplicaProtectedFromThrash) {
+  const DeletionConfig cfg = enabled();
+  // Stored 60 s ago — below min_age, even though never accessed.
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(1060.0), 4, SimTime::zero(),
+                                     SimTime::seconds(1000.0), false));
+}
+
+TEST(DeletionPolicy, NeverAccessedAgesFromCreation) {
+  const DeletionConfig cfg = enabled();
+  // Stored 700 s ago, never served: idle since creation, deletable.
+  EXPECT_TRUE(should_delete_replica(cfg, SimTime::seconds(700.0), 4, SimTime::zero(),
+                                    SimTime::zero(), false));
+  // Stored 300 s ago, never served: not idle long enough.
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(700.0), 4, SimTime::zero(),
+                                     SimTime::seconds(400.0), false));
+}
+
+TEST(DeletionPolicy, ReplicationEndpointBlocks) {
+  const DeletionConfig cfg = enabled();
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(10'000.0), 4, SimTime::zero(),
+                                     SimTime::zero(), true));
+}
+
+TEST(DeletionPolicy, IdleSinceLaterOfAccessAndStore) {
+  const DeletionConfig cfg = enabled();
+  // Replica re-landed (migration) 400 s ago after an old access: reference
+  // is the store time, so not yet idle.
+  EXPECT_FALSE(should_delete_replica(cfg, SimTime::seconds(2000.0), 4, SimTime::seconds(100.0),
+                                     SimTime::seconds(1600.0), false));
+}
+
+class IdleThresholdSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(IdleThresholdSweep, ThresholdBoundaryExact) {
+  DeletionConfig cfg = enabled();
+  cfg.idle_threshold = SimTime::seconds(GetParam());
+  const SimTime last = SimTime::seconds(1000.0);
+  const SimTime just_before = last + cfg.idle_threshold - SimTime::micros(1);
+  const SimTime at = last + cfg.idle_threshold;
+  EXPECT_FALSE(should_delete_replica(cfg, just_before, 4, last, SimTime::zero(), false));
+  EXPECT_TRUE(should_delete_replica(cfg, at, 4, last, SimTime::zero(), false));
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, IdleThresholdSweep,
+                         ::testing::Values(150.0, 300.0, 600.0, 1800.0));
+
+}  // namespace
+}  // namespace sqos::core

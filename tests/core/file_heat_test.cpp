@@ -1,0 +1,90 @@
+#include "core/file_heat.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::core {
+namespace {
+
+TEST(FileHeat, CountsAccesses) {
+  FileHeat h;
+  EXPECT_EQ(h.total_accesses(), 0u);
+  h.record_access(1);
+  h.record_access(1);
+  h.record_access(2);
+  EXPECT_EQ(h.total_accesses(), 3u);
+  EXPECT_EQ(h.accesses(1), 2u);
+  EXPECT_EQ(h.accesses(2), 1u);
+  EXPECT_EQ(h.accesses(99), 0u);
+}
+
+TEST(FileHeat, ForgetDropsCountsAndTotal) {
+  FileHeat h;
+  h.record_access(1);
+  h.record_access(1);
+  h.record_access(2);
+  h.forget(1);
+  EXPECT_EQ(h.accesses(1), 0u);
+  EXPECT_EQ(h.total_accesses(), 1u);
+  h.forget(42);  // unknown: no-op
+  EXPECT_EQ(h.total_accesses(), 1u);
+}
+
+TEST(FileHeat, RankingIsDescendingWithDeterministicTies) {
+  FileHeat h;
+  for (int i = 0; i < 5; ++i) h.record_access(10);
+  for (int i = 0; i < 3; ++i) h.record_access(20);
+  for (int i = 0; i < 3; ++i) h.record_access(5);
+  const auto ranked = h.ranking();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 10u);
+  EXPECT_EQ(ranked[1].first, 5u);   // tie broken by ascending key
+  EXPECT_EQ(ranked[2].first, 20u);
+}
+
+TEST(FileHeat, BusiestCoverHalf) {
+  // Paper §VI.C: N_BF covers 50 % of the total access count.
+  FileHeat h;
+  for (int i = 0; i < 50; ++i) h.record_access(1);
+  for (int i = 0; i < 30; ++i) h.record_access(2);
+  for (int i = 0; i < 20; ++i) h.record_access(3);
+  const auto cover = h.busiest_cover(0.5);
+  ASSERT_EQ(cover.size(), 1u);  // file 1 alone covers 50 %
+  EXPECT_EQ(cover[0], 1u);
+}
+
+TEST(FileHeat, BusiestCoverNeedsMultipleFiles) {
+  FileHeat h;
+  for (int i = 0; i < 40; ++i) h.record_access(1);
+  for (int i = 0; i < 35; ++i) h.record_access(2);
+  for (int i = 0; i < 25; ++i) h.record_access(3);
+  const auto cover = h.busiest_cover(0.7);
+  ASSERT_EQ(cover.size(), 2u);
+  EXPECT_EQ(cover[0], 1u);
+  EXPECT_EQ(cover[1], 2u);
+}
+
+TEST(FileHeat, CoverOfEmptyHeatIsEmpty) {
+  FileHeat h;
+  EXPECT_TRUE(h.busiest_cover(0.5).empty());
+}
+
+TEST(FileHeat, FullCoverReturnsEverything) {
+  FileHeat h;
+  h.record_access(1);
+  h.record_access(2);
+  h.record_access(3);
+  EXPECT_EQ(h.busiest_cover(1.0).size(), 3u);
+}
+
+TEST(FileHeat, ZeroCoverStillReturnsBusiestFile) {
+  // The cover prefix is never empty when accesses exist: replication always
+  // has at least one candidate.
+  FileHeat h;
+  h.record_access(7);
+  const auto cover = h.busiest_cover(0.0);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0], 7u);
+}
+
+}  // namespace
+}  // namespace sqos::core

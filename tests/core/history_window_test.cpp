@@ -1,0 +1,112 @@
+#include "core/history_window.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::core {
+namespace {
+
+HistoryParams params(std::size_t limit, double expiry_s) {
+  HistoryParams p;
+  p.sample_limit = limit;
+  p.expiry = SimTime::seconds(expiry_s);
+  return p;
+}
+
+TEST(TwoQueueHistory, NoHistoryUntilFirstExchange) {
+  TwoQueueHistory h{params(4, 60.0)};
+  EXPECT_FALSE(h.reference(SimTime::zero()).valid);
+  h.record(SimTime::seconds(1.0), Bytes::of(100));
+  EXPECT_FALSE(h.reference(SimTime::seconds(2.0)).valid);
+  EXPECT_EQ(h.exchanges(), 0u);
+}
+
+TEST(TwoQueueHistory, CountTriggerExchanges) {
+  TwoQueueHistory h{params(3, 1e9)};
+  h.record(SimTime::seconds(1.0), Bytes::of(10));
+  h.record(SimTime::seconds(2.0), Bytes::of(20));
+  h.record(SimTime::seconds(3.0), Bytes::of(30));  // third sample -> exchange
+  EXPECT_EQ(h.exchanges(), 1u);
+  const WindowStats ref = h.reference(SimTime::seconds(4.0));
+  ASSERT_TRUE(ref.valid);
+  EXPECT_EQ(ref.samples, 3u);
+  EXPECT_EQ(ref.fs_total, Bytes::of(60));
+  EXPECT_EQ(ref.t_start, SimTime::seconds(1.0));
+  EXPECT_EQ(ref.t_end, SimTime::seconds(3.0));
+  EXPECT_EQ(ref.t_threshold(), SimTime::seconds(2.0));
+}
+
+TEST(TwoQueueHistory, TimeTriggerExchanges) {
+  TwoQueueHistory h{params(1000, 10.0)};
+  h.record(SimTime::seconds(0.0), Bytes::of(5));
+  h.record(SimTime::seconds(3.0), Bytes::of(5));
+  EXPECT_EQ(h.exchanges(), 0u);
+  // The recording queue is now 12 s old: querying applies the expiry swap.
+  const WindowStats ref = h.reference(SimTime::seconds(12.0));
+  EXPECT_EQ(h.exchanges(), 1u);
+  ASSERT_TRUE(ref.valid);
+  EXPECT_EQ(ref.samples, 2u);
+  EXPECT_EQ(ref.fs_total, Bytes::of(10));
+  EXPECT_EQ(ref.t_end, SimTime::seconds(12.0));
+}
+
+TEST(TwoQueueHistory, RecordAppliesExpiryBeforeRecording) {
+  TwoQueueHistory h{params(1000, 10.0)};
+  h.record(SimTime::seconds(0.0), Bytes::of(7));
+  // 20 s later: the old window must be swapped out first and the new record
+  // must land in a fresh recording queue.
+  h.record(SimTime::seconds(20.0), Bytes::of(9));
+  EXPECT_EQ(h.exchanges(), 1u);
+  EXPECT_EQ(h.recording().samples, 1u);
+  EXPECT_EQ(h.recording().fs_total, Bytes::of(9));
+  const WindowStats ref = h.reference(SimTime::seconds(21.0));
+  EXPECT_EQ(ref.fs_total, Bytes::of(7));
+}
+
+TEST(TwoQueueHistory, RolesSwapRepeatedly) {
+  TwoQueueHistory h{params(2, 1e9)};
+  h.record(SimTime::seconds(1.0), Bytes::of(1));
+  h.record(SimTime::seconds(2.0), Bytes::of(1));  // exchange #1
+  h.record(SimTime::seconds(3.0), Bytes::of(2));
+  h.record(SimTime::seconds(4.0), Bytes::of(2));  // exchange #2
+  EXPECT_EQ(h.exchanges(), 2u);
+  const WindowStats ref = h.reference(SimTime::seconds(5.0));
+  EXPECT_EQ(ref.fs_total, Bytes::of(4));
+  EXPECT_EQ(ref.t_start, SimTime::seconds(3.0));
+}
+
+TEST(TwoQueueHistory, EmptyRecordingQueueDoesNotExpire) {
+  TwoQueueHistory h{params(4, 5.0)};
+  // Nothing recorded: no exchange no matter how much time passes.
+  EXPECT_FALSE(h.reference(SimTime::seconds(100.0)).valid);
+  EXPECT_EQ(h.exchanges(), 0u);
+}
+
+TEST(TwoQueueHistory, SingleBurstAtOneInstant) {
+  TwoQueueHistory h{params(3, 60.0)};
+  h.record(SimTime::seconds(5.0), Bytes::of(1));
+  h.record(SimTime::seconds(5.0), Bytes::of(1));
+  h.record(SimTime::seconds(5.0), Bytes::of(1));
+  const WindowStats ref = h.reference(SimTime::seconds(5.0));
+  ASSERT_TRUE(ref.valid);
+  EXPECT_EQ(ref.t_threshold(), SimTime::zero());  // degenerate window
+  EXPECT_EQ(ref.samples, 3u);
+}
+
+class HistoryLimitSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistoryLimitSweep, ExchangeAlwaysAtConfiguredCount) {
+  const std::size_t limit = GetParam();
+  TwoQueueHistory h{params(limit, 1e9)};
+  for (std::size_t i = 0; i < limit - 1; ++i) {
+    h.record(SimTime::seconds(static_cast<double>(i)), Bytes::of(1));
+    EXPECT_EQ(h.exchanges(), 0u);
+  }
+  h.record(SimTime::seconds(static_cast<double>(limit)), Bytes::of(1));
+  EXPECT_EQ(h.exchanges(), 1u);
+  EXPECT_EQ(h.reference(SimTime::seconds(1000.0)).samples, limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(Limits, HistoryLimitSweep, ::testing::Values(1u, 2u, 8u, 32u, 128u));
+
+}  // namespace
+}  // namespace sqos::core

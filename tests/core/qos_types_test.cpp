@@ -1,0 +1,28 @@
+#include "core/qos_types.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::core {
+namespace {
+
+TEST(AllocationModeTest, Stringify) {
+  EXPECT_EQ(to_string(AllocationMode::kFirm), "firm");
+  EXPECT_EQ(to_string(AllocationMode::kSoft), "soft");
+}
+
+TEST(AccessRequestTest, OccupationTimeIsSizeOverRate) {
+  AccessRequest r;
+  r.size = Bytes::of(1'000'000);
+  r.required = Bandwidth::bytes_per_sec(10'000.0);
+  EXPECT_EQ(occupation_time(r), SimTime::seconds(100.0));
+}
+
+TEST(AccessRequestTest, ZeroRateOccupiesForever) {
+  AccessRequest r;
+  r.size = Bytes::of(1);
+  r.required = Bandwidth::zero();
+  EXPECT_EQ(occupation_time(r), SimTime::max());
+}
+
+}  // namespace
+}  // namespace sqos::core

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/destination_selector.hpp"
+#include "core/replication_planner.hpp"
+#include "core/replication_trigger.hpp"
+
+namespace sqos::core {
+namespace {
+
+// ---------------------------------------------------------------- trigger --
+
+ReplicationConfig enabled_config() {
+  ReplicationConfig cfg = ReplicationConfig::rep(1, 3);
+  cfg.trigger_threshold = 0.20;
+  cfg.source_cooldown = SimTime::seconds(60.0);
+  return cfg;
+}
+
+TEST(ReplicationTrigger, FiresBelowThreshold) {
+  const ReplicationConfig cfg = enabled_config();
+  ReplicationTrigger t{cfg};
+  const Bandwidth cap = Bandwidth::mbps(18.0);
+  EXPECT_FALSE(t.should_trigger(SimTime::zero(), Bandwidth::mbps(3.7), cap));  // 20.6 %
+  EXPECT_TRUE(t.should_trigger(SimTime::zero(), Bandwidth::mbps(3.5), cap));   // 19.4 %
+  // Boundary: exactly at B_TH does not fire ("lower than the threshold").
+  EXPECT_FALSE(t.should_trigger(SimTime::zero(), Bandwidth::mbps(3.6), cap));
+}
+
+TEST(ReplicationTrigger, DisabledConfigNeverFires) {
+  const ReplicationConfig cfg;  // static only
+  ReplicationTrigger t{cfg};
+  EXPECT_FALSE(t.should_trigger(SimTime::zero(), Bandwidth::zero(), Bandwidth::mbps(18.0)));
+}
+
+TEST(ReplicationTrigger, SourceRoleBlocks) {
+  const ReplicationConfig cfg = enabled_config();
+  ReplicationTrigger t{cfg};
+  t.begin_source(SimTime::zero());
+  EXPECT_TRUE(t.is_source());
+  EXPECT_FALSE(t.should_trigger(SimTime::seconds(1.0), Bandwidth::zero(), Bandwidth::mbps(18.0)));
+  t.end_source(SimTime::seconds(10.0));
+  EXPECT_FALSE(t.is_source());
+}
+
+TEST(ReplicationTrigger, DestinationRoleBlocks) {
+  const ReplicationConfig cfg = enabled_config();
+  ReplicationTrigger t{cfg};
+  t.begin_destination();
+  EXPECT_FALSE(t.should_trigger(SimTime::zero(), Bandwidth::zero(), Bandwidth::mbps(18.0)));
+  t.end_destination();
+  EXPECT_TRUE(t.should_trigger(SimTime::zero(), Bandwidth::zero(), Bandwidth::mbps(18.0)));
+}
+
+TEST(ReplicationTrigger, CooldownBlocksFor60Seconds) {
+  const ReplicationConfig cfg = enabled_config();
+  ReplicationTrigger t{cfg};
+  t.begin_source(SimTime::zero());
+  t.end_source(SimTime::seconds(10.0));
+  const Bandwidth cap = Bandwidth::mbps(18.0);
+  EXPECT_FALSE(t.should_trigger(SimTime::seconds(30.0), Bandwidth::zero(), cap));
+  EXPECT_FALSE(t.should_trigger(SimTime::seconds(69.9), Bandwidth::zero(), cap));
+  EXPECT_TRUE(t.should_trigger(SimTime::seconds(70.0), Bandwidth::zero(), cap));
+}
+
+TEST(ReplicationTrigger, NestedRolesCountCorrectly) {
+  const ReplicationConfig cfg = enabled_config();
+  ReplicationTrigger t{cfg};
+  t.begin_destination();
+  t.begin_destination();
+  t.end_destination();
+  EXPECT_TRUE(t.is_destination());
+  t.end_destination();
+  EXPECT_FALSE(t.is_destination());
+}
+
+// ---------------------------------------------------------------- planner --
+
+TEST(RepCountPlan, WithinBoundKeepsConfig) {
+  const RepCountPlan p = plan_rep_count(3, 3, 8);  // 3+3 <= 8
+  EXPECT_EQ(p.n_rep, 3u);
+  EXPECT_FALSE(p.delete_self);
+}
+
+TEST(RepCountPlan, ClampsAtBound) {
+  // Paper example: N_REP + N_CUR > N_MAXR -> N_REP = N_MAXR - (N_CUR - 1).
+  const RepCountPlan p = plan_rep_count(3, 7, 8);
+  EXPECT_EQ(p.n_rep, 2u);
+  EXPECT_TRUE(p.delete_self);
+}
+
+TEST(RepCountPlan, AtLeastOneReplication) {
+  // Rep(1,3) with N_CUR = 3: replication still happens once, migrating the
+  // replica (source deletes its own copy afterwards).
+  const RepCountPlan p = plan_rep_count(1, 3, 3);
+  EXPECT_EQ(p.n_rep, 1u);
+  EXPECT_TRUE(p.delete_self);
+}
+
+TEST(RepCountPlan, ExactFitDoesNotDelete) {
+  const RepCountPlan p = plan_rep_count(1, 2, 3);  // 1+2 == 3
+  EXPECT_EQ(p.n_rep, 1u);
+  EXPECT_FALSE(p.delete_self);
+}
+
+class RepPlanSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>> {};
+
+TEST_P(RepPlanSweep, InvariantsHold) {
+  const auto [n_rep, n_cur, n_maxr] = GetParam();
+  const RepCountPlan p = plan_rep_count(n_rep, n_cur, n_maxr);
+  EXPECT_GE(p.n_rep, 1u);
+  // After the round: replicas = n_cur + n_rep - (delete_self ? 1 : 0) <= max(n_maxr, n_cur).
+  const std::uint32_t after = n_cur + p.n_rep - (p.delete_self ? 1 : 0);
+  EXPECT_LE(after, std::max(n_maxr, n_cur));
+  // Never fewer replicas than before the round.
+  EXPECT_GE(after, n_cur);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, RepPlanSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),     // N_REP
+                       ::testing::Values(1u, 2u, 3u, 7u, 8u),  // N_CUR
+                       ::testing::Values(3u, 8u)));       // N_MAXR
+
+TEST(Reservation, BRevIsKTimesFileBandwidth) {
+  ReplicationConfig cfg = enabled_config();
+  cfg.reserve_multiplier = 2.0;
+  EXPECT_EQ(reservation_for(cfg, Bandwidth::mbps(1.5)), Bandwidth::mbps(3.0));
+}
+
+TEST(Reservation, SourceEligibleWhenReserveCoversTransferSpeed) {
+  ReplicationConfig cfg = enabled_config();
+  cfg.transfer_speed = Bandwidth::mbps(1.8);
+  cfg.reserve_multiplier = 2.0;
+  EXPECT_TRUE(source_eligible(cfg, Bandwidth::mbps(0.9)));   // B_REV = 1.8 = speed
+  EXPECT_TRUE(source_eligible(cfg, Bandwidth::mbps(2.0)));
+  EXPECT_FALSE(source_eligible(cfg, Bandwidth::mbps(0.5)));  // B_REV = 1.0 < 1.8
+}
+
+// ----------------------------------------------------- destination verdict --
+
+TEST(DestinationVerdictTest, AcceptsHealthyDestination) {
+  const ReplicationConfig cfg = enabled_config();
+  const auto v = destination_verdict(cfg, /*has_replica=*/false, Bandwidth::mbps(10.0),
+                                     Bandwidth::mbps(18.0), Bandwidth::mbps(1.5));
+  EXPECT_EQ(v, DestinationVerdict::kAccept);
+}
+
+TEST(DestinationVerdictTest, RejectsExistingReplica) {
+  const ReplicationConfig cfg = enabled_config();
+  EXPECT_EQ(destination_verdict(cfg, true, Bandwidth::mbps(10.0), Bandwidth::mbps(18.0),
+                                Bandwidth::mbps(1.0)),
+            DestinationVerdict::kRejectAlreadyHasReplica);
+}
+
+TEST(DestinationVerdictTest, RejectsBelowReserve) {
+  // B_REV = 2 x 2.0 = 4.0 Mbit/s > 3.9 remaining (but above B_TH = 3.6).
+  const ReplicationConfig cfg = enabled_config();
+  EXPECT_EQ(destination_verdict(cfg, false, Bandwidth::mbps(3.9), Bandwidth::mbps(18.0),
+                                Bandwidth::mbps(2.0)),
+            DestinationVerdict::kRejectBelowReserve);
+}
+
+TEST(DestinationVerdictTest, RejectsBelowTriggerThreshold) {
+  // Remaining 3.5 < B_TH (3.6) while B_REV = 2 x 0.5 = 1.0 is satisfied.
+  const ReplicationConfig cfg = enabled_config();
+  EXPECT_EQ(destination_verdict(cfg, false, Bandwidth::mbps(3.5), Bandwidth::mbps(18.0),
+                                Bandwidth::mbps(0.5)),
+            DestinationVerdict::kRejectBelowTriggerThreshold);
+}
+
+// ----------------------------------------------------- destination selector --
+
+std::vector<DestinationCandidate> paper_candidates() {
+  // Mimic the paper mix: two extra-large, some 19s, some 18s.
+  std::vector<DestinationCandidate> c;
+  c.push_back({0, Bandwidth::mbps(128.0)});
+  c.push_back({1, Bandwidth::mbps(19.0)});
+  c.push_back({2, Bandwidth::mbps(18.0)});
+  c.push_back({3, Bandwidth::mbps(128.0)});
+  c.push_back({4, Bandwidth::mbps(18.0)});
+  return c;
+}
+
+TEST(DestinationSelector, RandomPicksDistinct) {
+  Rng rng{1};
+  const auto picks = select_destinations(DestinationStrategy::kRandom, paper_candidates(), 3, rng);
+  ASSERT_EQ(picks.size(), 3u);
+  EXPECT_NE(picks[0], picks[1]);
+  EXPECT_NE(picks[1], picks[2]);
+  EXPECT_NE(picks[0], picks[2]);
+}
+
+TEST(DestinationSelector, CountClampedToCandidates) {
+  Rng rng{1};
+  EXPECT_EQ(select_destinations(DestinationStrategy::kRandom, paper_candidates(), 99, rng).size(),
+            5u);
+  EXPECT_TRUE(select_destinations(DestinationStrategy::kRandom, {}, 3, rng).empty());
+  EXPECT_TRUE(select_destinations(DestinationStrategy::kRandom, paper_candidates(), 0, rng)
+                  .empty());
+}
+
+TEST(DestinationSelector, LbfOnlyPicksLargest) {
+  Rng rng{5};
+  for (int i = 0; i < 100; ++i) {
+    const auto picks =
+        select_destinations(DestinationStrategy::kLargestBandwidthFirst, paper_candidates(), 1,
+                            rng);
+    ASSERT_EQ(picks.size(), 1u);
+    EXPECT_TRUE(picks[0] == 0 || picks[0] == 3) << picks[0];
+  }
+}
+
+TEST(DestinationSelector, LbfPicksBothLargestOverTime) {
+  Rng rng{9};
+  bool saw0 = false;
+  bool saw3 = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto picks = select_destinations(DestinationStrategy::kLargestBandwidthFirst,
+                                           paper_candidates(), 1, rng);
+    saw0 |= picks[0] == 0;
+    saw3 |= picks[0] == 3;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw3);
+}
+
+TEST(DestinationSelector, WeightedFavoursLargeBandwidth) {
+  Rng rng{13};
+  int large = 0;
+  const int trials = 10'000;
+  for (int i = 0; i < trials; ++i) {
+    const auto picks =
+        select_destinations(DestinationStrategy::kWeighted, paper_candidates(), 1, rng);
+    if (picks[0] == 0 || picks[0] == 3) ++large;
+  }
+  // P(large) = 256 / 311 ≈ 0.823.
+  EXPECT_NEAR(static_cast<double>(large) / trials, 256.0 / 311.0, 0.02);
+}
+
+TEST(DestinationSelector, WeightedWithoutReplacement) {
+  Rng rng{17};
+  const auto picks =
+      select_destinations(DestinationStrategy::kWeighted, paper_candidates(), 5, rng);
+  ASSERT_EQ(picks.size(), 5u);
+  std::set<std::size_t> unique{picks.begin(), picks.end()};
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(DestinationStrategyNames, Stringify) {
+  EXPECT_EQ(to_string(DestinationStrategy::kRandom), "random");
+  EXPECT_EQ(to_string(DestinationStrategy::kLargestBandwidthFirst), "lbf");
+  EXPECT_EQ(to_string(DestinationStrategy::kWeighted), "weighted");
+}
+
+TEST(ReplicationConfigTest, StrategyNames) {
+  EXPECT_EQ(ReplicationConfig::static_only().strategy_name(), "static");
+  EXPECT_EQ(ReplicationConfig::baseline().strategy_name(), "Rep(3,8)");
+  EXPECT_EQ(ReplicationConfig::rep(1, 8).strategy_name(), "Rep(1,8)");
+  EXPECT_EQ(ReplicationConfig::rep(1, 3).strategy_name(), "Rep(1,3)");
+}
+
+TEST(ReplicationConfigTest, PaperConstants) {
+  const ReplicationConfig cfg = ReplicationConfig::rep(1, 3);
+  EXPECT_DOUBLE_EQ(cfg.trigger_threshold, 0.20);
+  EXPECT_EQ(cfg.source_cooldown, SimTime::seconds(60.0));
+  EXPECT_DOUBLE_EQ(cfg.busiest_cover, 0.50);
+  EXPECT_DOUBLE_EQ(cfg.reserve_multiplier, 2.0);
+  EXPECT_EQ(cfg.transfer_speed, Bandwidth::mbps(1.8));
+  EXPECT_EQ(cfg.destination, DestinationStrategy::kRandom);
+}
+
+}  // namespace
+}  // namespace sqos::core

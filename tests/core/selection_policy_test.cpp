@@ -1,0 +1,137 @@
+#include "core/selection_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/admission.hpp"
+
+namespace sqos::core {
+namespace {
+
+BidInfo bid(double b_rem, double trend = 0.0, double bias = 1.0, double b_req = 0.0) {
+  BidInfo b;
+  b.b_rem_bps = b_rem;
+  b.trend_bps = trend;
+  b.occupation_bias = bias;
+  b.b_req_bps = b_req;
+  return b;
+}
+
+TEST(PolicyWeights, ToStringMatchesPaperNotation) {
+  EXPECT_EQ(PolicyWeights::random().to_string(), "(0,0,0)");
+  EXPECT_EQ(PolicyWeights::p100().to_string(), "(1,0,0)");
+  EXPECT_EQ(PolicyWeights::p101().to_string(), "(1,0,1)");
+  EXPECT_EQ(PolicyWeights::p110().to_string(), "(1,1,0)");
+  EXPECT_EQ(PolicyWeights::p111().to_string(), "(1,1,1)");
+  EXPECT_EQ((PolicyWeights{0.5, 0.25, 0.0}.to_string()), "(0.50,0.25,0.00)");
+}
+
+TEST(PolicyWeights, PaperSetHasFiveEntries) {
+  const auto set = PolicyWeights::paper_set();
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set[0].is_random());
+  EXPECT_FALSE(set[1].is_random());
+}
+
+TEST(SelectionPolicy, ScoreIsTheBidEquation) {
+  // Bid = α·B_rem + β·trend − γ·(bias · B_req)
+  const SelectionPolicy p{PolicyWeights{2.0, 3.0, 4.0}};
+  const double s = p.score(bid(100.0, 10.0, 0.5, 20.0));
+  EXPECT_DOUBLE_EQ(s, 2.0 * 100.0 + 3.0 * 10.0 - 4.0 * (0.5 * 20.0));
+}
+
+TEST(SelectionPolicy, P100RanksByRemainingBandwidth) {
+  const SelectionPolicy p{PolicyWeights::p100()};
+  Rng rng{1};
+  const std::vector<BidInfo> bids{bid(10.0), bid(50.0), bid(30.0)};
+  const auto pick = p.choose(bids, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(SelectionPolicy, GammaPenalizesRequestedBandwidth) {
+  const SelectionPolicy p{PolicyWeights::p101()};
+  Rng rng{1};
+  // Same B_rem; the second candidate carries a heavier occupation penalty.
+  const std::vector<BidInfo> bids{bid(100.0, 0.0, 0.2, 50.0), bid(100.0, 0.0, 0.9, 50.0)};
+  const auto pick = p.choose(bids, rng);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(SelectionPolicy, BetaRewardsPositiveTrend) {
+  // Per §IV the trend enters with a plus sign.
+  const SelectionPolicy p{PolicyWeights::p110()};
+  Rng rng{1};
+  const std::vector<BidInfo> bids{bid(100.0, -5.0), bid(100.0, 5.0)};
+  const auto pick = p.choose(bids, rng);
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(SelectionPolicy, EmptyBidsYieldNullopt) {
+  const SelectionPolicy p{PolicyWeights::p100()};
+  Rng rng{1};
+  EXPECT_FALSE(p.choose({}, rng).has_value());
+}
+
+TEST(SelectionPolicy, RandomPolicyCoversAllCandidates) {
+  const SelectionPolicy p{PolicyWeights::random()};
+  Rng rng{7};
+  const std::vector<BidInfo> bids{bid(1.0), bid(2.0), bid(3.0)};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 3000; ++i) ++counts[*p.choose(bids, rng)];
+  for (const int c : counts) EXPECT_NEAR(c, 1000, 150);
+}
+
+TEST(SelectionPolicy, TieBreaksRandomlyAmongEquals) {
+  const SelectionPolicy p{PolicyWeights::p100()};
+  Rng rng{11};
+  const std::vector<BidInfo> bids{bid(50.0), bid(50.0), bid(10.0)};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 2000; ++i) ++counts[*p.choose(bids, rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0], 1000, 150);
+  EXPECT_NEAR(counts[1], 1000, 150);
+}
+
+TEST(Admission, SoftAlwaysAdmits) {
+  EXPECT_TRUE(admits(AllocationMode::kSoft, bid(0.0), Bandwidth::mbps(100.0)));
+}
+
+TEST(Admission, FirmRequiresRemainingBandwidth) {
+  EXPECT_TRUE(admits(AllocationMode::kFirm, bid(Bandwidth::mbps(2.0).bps()),
+                     Bandwidth::mbps(2.0)));
+  EXPECT_FALSE(admits(AllocationMode::kFirm, bid(Bandwidth::mbps(1.9).bps()),
+                      Bandwidth::mbps(2.0)));
+}
+
+TEST(Admission, FilterPreservesOrder) {
+  const std::vector<BidInfo> bids{bid(10.0), bid(1.0), bid(5.0), bid(0.5)};
+  const auto idx =
+      filter_admissible(AllocationMode::kFirm, bids, Bandwidth::bytes_per_sec(2.0));
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 2}));
+  const auto all = filter_admissible(AllocationMode::kSoft, bids, Bandwidth::bytes_per_sec(2.0));
+  EXPECT_EQ(all.size(), 4u);
+}
+
+class PolicySweep : public ::testing::TestWithParam<PolicyWeights> {};
+
+TEST_P(PolicySweep, ChooseAlwaysReturnsValidIndex) {
+  const SelectionPolicy p{GetParam()};
+  Rng rng{3};
+  std::vector<BidInfo> bids;
+  for (int i = 0; i < 10; ++i) {
+    bids.push_back(bid(i * 7 % 5 * 10.0, (i % 3 - 1) * 2.0, 0.1 * (i + 1) / 10.0 + 0.1,
+                       i * 100.0));
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto pick = p.choose(bids, rng);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_LT(*pick, bids.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperPolicies, PolicySweep,
+                         ::testing::ValuesIn(PolicyWeights::paper_set()));
+
+}  // namespace
+}  // namespace sqos::core

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/bid.hpp"
+#include "core/occupation_tracker.hpp"
+#include "core/trend_predictor.hpp"
+
+namespace sqos::core {
+namespace {
+
+WindowStats window(double t_start, double t_end, std::int64_t fs_bytes) {
+  WindowStats w;
+  w.t_start = SimTime::seconds(t_start);
+  w.t_end = SimTime::seconds(t_end);
+  w.fs_total = Bytes::of(fs_bytes);
+  w.samples = 1;
+  w.valid = true;
+  return w;
+}
+
+TEST(TrendPredictor, InvalidHistoryIsZero) {
+  EXPECT_DOUBLE_EQ(
+      predict_trend_bps(Bandwidth::mbps(5.0), WindowStats{}, SimTime::seconds(1.0)), 0.0);
+}
+
+TEST(TrendPredictor, MedianBiasFormula) {
+  // Window: 10 s, 1000 bytes -> historical 100 B/s. B_used = 300 B/s.
+  // Trend = (300 - 100) / 2 = 100, fresh reference (distance 0 -> factor 1).
+  const WindowStats w = window(0.0, 10.0, 1000);
+  const double trend =
+      predict_trend_bps(Bandwidth::bytes_per_sec(300.0), w, SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(trend, 100.0);
+}
+
+TEST(TrendPredictor, NegativeTrendWhenUsageBelowHistory) {
+  const WindowStats w = window(0.0, 10.0, 10'000);  // historical 1000 B/s
+  const double trend =
+      predict_trend_bps(Bandwidth::bytes_per_sec(200.0), w, SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(trend, -400.0);
+}
+
+TEST(TrendPredictor, StalenessDiscountsLinearly) {
+  const WindowStats w = window(0.0, 10.0, 0);  // historical 0 -> trend = B_used/2 * factor
+  const Bandwidth used = Bandwidth::bytes_per_sec(100.0);
+  // T_distance = 20 s, T_threshold = 10 s -> factor = 0.5.
+  EXPECT_DOUBLE_EQ(predict_trend_bps(used, w, SimTime::seconds(30.0)), 25.0);
+  // T_distance = 5 s < T_threshold -> factor clamped to 1.
+  EXPECT_DOUBLE_EQ(predict_trend_bps(used, w, SimTime::seconds(15.0)), 50.0);
+}
+
+TEST(TrendPredictor, ClampNeverExceedsOne) {
+  const WindowStats w = window(0.0, 100.0, 0);
+  const double fresh = predict_trend_bps(Bandwidth::bytes_per_sec(10.0), w,
+                                         SimTime::seconds(100.0));
+  const double just_after = predict_trend_bps(Bandwidth::bytes_per_sec(10.0), w,
+                                              SimTime::seconds(100.001));
+  EXPECT_DOUBLE_EQ(fresh, 5.0);
+  EXPECT_LE(just_after, 5.0);
+}
+
+TEST(TrendPredictor, DegenerateZeroWidthWindowIsZero) {
+  const WindowStats w = window(5.0, 5.0, 100);
+  EXPECT_DOUBLE_EQ(
+      predict_trend_bps(Bandwidth::bytes_per_sec(100.0), w, SimTime::seconds(6.0)), 0.0);
+}
+
+TEST(OccupationTracker, AverageOfFiles) {
+  OccupationTracker t;
+  EXPECT_EQ(t.average(), SimTime::zero());
+  t.add_file(SimTime::seconds(100.0));
+  t.add_file(SimTime::seconds(300.0));
+  EXPECT_EQ(t.file_count(), 2u);
+  EXPECT_EQ(t.average(), SimTime::seconds(200.0));
+  t.remove_file(SimTime::seconds(100.0));
+  EXPECT_EQ(t.average(), SimTime::seconds(300.0));
+}
+
+TEST(OccupationTracker, BiasIsInUnitInterval) {
+  OccupationTracker t;
+  t.add_file(SimTime::seconds(200.0));
+  t.add_file(SimTime::seconds(400.0));
+  for (double ocp : {10.0, 100.0, 300.0, 10'000.0}) {
+    const double b = t.bias(SimTime::seconds(ocp));
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+TEST(OccupationTracker, BiasFormula) {
+  OccupationTracker t;
+  t.add_file(SimTime::seconds(300.0));  // avg = 300
+  EXPECT_DOUBLE_EQ(t.bias(SimTime::seconds(300.0)), std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(t.bias(SimTime::seconds(150.0)), std::exp(-2.0));
+}
+
+TEST(OccupationTracker, LongerOccupationGetsLargerBias) {
+  // e^(−avg/T_ocp) grows with T_ocp: long-occupation requests are penalized
+  // by a larger share of their B_req in the γ-term.
+  OccupationTracker t;
+  t.add_file(SimTime::seconds(300.0));
+  EXPECT_LT(t.bias(SimTime::seconds(100.0)), t.bias(SimTime::seconds(500.0)));
+}
+
+TEST(OccupationTracker, EmptyTrackerBiasIsOne) {
+  OccupationTracker t;
+  EXPECT_DOUBLE_EQ(t.bias(SimTime::seconds(100.0)), 1.0);
+}
+
+TEST(OccupationTracker, DegenerateZeroOccupation) {
+  OccupationTracker t;
+  t.add_file(SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(t.bias(SimTime::zero()), 1.0);
+}
+
+TEST(MakeBid, AssemblesAllFactors) {
+  BidInputs in;
+  in.b_rem = Bandwidth::mbps(10.0);
+  in.b_used = Bandwidth::bytes_per_sec(300.0);
+  in.reference = window(0.0, 10.0, 1000);
+  in.now = SimTime::seconds(10.0);
+  in.b_req = Bandwidth::mbps(2.0);
+  in.t_ocp = SimTime::seconds(300.0);
+  in.t_ocp_avg = SimTime::seconds(300.0);
+
+  const BidInfo bid = make_bid(in);
+  EXPECT_DOUBLE_EQ(bid.b_rem_bps, Bandwidth::mbps(10.0).bps());
+  EXPECT_DOUBLE_EQ(bid.trend_bps, 100.0);
+  EXPECT_DOUBLE_EQ(bid.occupation_bias, std::exp(-1.0));
+  EXPECT_DOUBLE_EQ(bid.b_req_bps, Bandwidth::mbps(2.0).bps());
+}
+
+TEST(MakeBid, ZeroOccupationEdge) {
+  BidInputs in;
+  in.t_ocp = SimTime::zero();
+  in.t_ocp_avg = SimTime::seconds(100.0);
+  in.now = SimTime::zero();
+  const BidInfo bid = make_bid(in);
+  EXPECT_DOUBLE_EQ(bid.occupation_bias, 1.0);
+}
+
+}  // namespace
+}  // namespace sqos::core

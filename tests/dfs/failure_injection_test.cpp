@@ -1,0 +1,207 @@
+// Failure injection: RM crashes during every protocol phase must degrade
+// gracefully — timed-out negotiations, aborted streams, cancelled copies —
+// never hangs, double-frees or broken invariants; recovery re-registers the
+// surviving disk contents.
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+
+namespace sqos::dfs {
+namespace {
+
+class FailureInjectionTest : public ::testing::Test {
+ protected:
+  void build(core::AllocationMode mode = core::AllocationMode::kFirm,
+             core::ReplicationConfig rep = core::ReplicationConfig::static_only()) {
+    ClusterConfig cfg = sqos::testing::small_cluster_config();
+    cfg.mode = mode;
+    cfg.replication = rep;
+    cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+    cluster_->start();
+    cluster_->simulator().run();
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(FailureInjectionTest, OpenSurvivesOneDeadHolder) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  ASSERT_TRUE(cluster_->place_replica(1, 1).is_ok());
+  cluster_->fail_rm(1);
+
+  bool ok = false;
+  cluster_->client(0).stream_file(1, [&](const Status& s) { ok = s.is_ok(); });
+  cluster_->simulator().run();
+  EXPECT_TRUE(ok);
+  // The negotiation was decided by the bid timeout, not by a hang.
+  EXPECT_EQ(cluster_->client(0).counters().bid_timeouts, 1u);
+  EXPECT_EQ(cluster_->rm(0).counters().streams_completed, 1u);
+}
+
+TEST_F(FailureInjectionTest, OpenFailsCleanlyWhenAllHoldersDead) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(1, 1).is_ok());
+  ASSERT_TRUE(cluster_->place_replica(2, 1).is_ok());
+  cluster_->fail_rm(1);
+  cluster_->fail_rm(2);
+
+  Status result;
+  bool called = false;
+  cluster_->client(0).stream_file(1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called) << "open must not hang";
+  EXPECT_EQ(result.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(cluster_->client(0).counters().opens_failed, 1u);
+}
+
+TEST_F(FailureInjectionTest, CrashMidStreamAbortsTheTransfer) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  Status result;
+  bool called = false;
+  cluster_->client(0).stream_file(1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  // file 1 streams for 100 s; crash the serving RM at t = 50 s.
+  cluster_->simulator().schedule_at(SimTime::seconds(50.0), [&] { cluster_->fail_rm(0); });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(cluster_->rm(0).allocated(), Bandwidth::zero());
+  EXPECT_EQ(cluster_->rm(0).counters().streams_completed, 0u);
+}
+
+TEST_F(FailureInjectionTest, CrashBetweenBidAndDataRequestIsRefused) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  // Crash after the bid round trip (~1 ms) but before the client's data
+  // request lands: connection refused, the open fails.
+  cluster_->simulator().schedule_at(SimTime::micros(1400), [&] { cluster_->fail_rm(0); });
+  Status result;
+  cluster_->client(0).stream_file(1, [&](const Status& s) { result = s; });
+  cluster_->simulator().run();
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST_F(FailureInjectionTest, RecoveryReRegistersSurvivingReplicas) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  ASSERT_TRUE(cluster_->place_replica(0, 2).is_ok());
+  cluster_->fail_rm(0);
+  // Stale MM entry still lists the dead holder; opens fail via timeout.
+  Status first;
+  cluster_->client(0).stream_file(1, [&](const Status& s) { first = s; });
+  cluster_->simulator().run();
+  EXPECT_FALSE(first.is_ok());
+
+  cluster_->recover_rm(0);
+  cluster_->simulator().run();
+  EXPECT_TRUE(cluster_->mm().is_registered(cluster_->rm(0).node_id()));
+  EXPECT_EQ(cluster_->mm().replica_count(1), 1u);  // disk contents survived
+
+  bool ok = false;
+  cluster_->client(0).stream_file(1, [&](const Status& s) { ok = s.is_ok(); });
+  cluster_->simulator().run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(FailureInjectionTest, FailClearsVolatileStateOnly) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  cluster_->client(0).stream_file(1);
+  cluster_->simulator().run_until(SimTime::seconds(10.0));
+  EXPECT_GT(cluster_->rm(0).allocated().bps(), 0.0);
+  EXPECT_GT(cluster_->rm(0).heat().total_accesses(), 0u);
+
+  cluster_->fail_rm(0);
+  EXPECT_FALSE(cluster_->rm(0).is_online());
+  EXPECT_EQ(cluster_->rm(0).allocated(), Bandwidth::zero());
+  EXPECT_EQ(cluster_->rm(0).heat().total_accesses(), 0u);
+  EXPECT_TRUE(cluster_->rm(0).has_replica(1));  // disk survives
+  EXPECT_EQ(cluster_->rm(0).occupation().file_count(), 1u);
+  cluster_->simulator().run();
+}
+
+TEST_F(FailureInjectionTest, ReplicationCopyAbortsWhenDestinationDies) {
+  build(core::AllocationMode::kSoft, core::ReplicationConfig::rep(1, 3));
+  ASSERT_TRUE(cluster_->place_replica(1, 4).is_ok());
+  for (int i = 0; i < 3; ++i) cluster_->client(0).stream_file(4);
+  // The copy takes ~222 s at 1.8 Mbit/s; kill every possible destination
+  // while it is in flight.
+  cluster_->simulator().schedule_at(SimTime::seconds(60.0), [&] {
+    cluster_->fail_rm(0);
+    cluster_->fail_rm(2);
+  });
+  cluster_->simulator().run();
+  const auto& c = cluster_->replication().counters();
+  EXPECT_EQ(c.copies_completed, 0u);
+  EXPECT_GE(c.copies_started, 1u);
+  EXPECT_GE(c.copies_failed, 1u);
+  EXPECT_EQ(cluster_->mm().replica_count(4), 1u);  // no phantom replica
+}
+
+TEST_F(FailureInjectionTest, ReplicationSourceCrashAbortsItsRound) {
+  build(core::AllocationMode::kSoft, core::ReplicationConfig::rep(1, 3));
+  ASSERT_TRUE(cluster_->place_replica(1, 4).is_ok());
+  for (int i = 0; i < 3; ++i) cluster_->client(0).stream_file(4);
+  cluster_->simulator().schedule_at(SimTime::seconds(60.0), [&] { cluster_->fail_rm(1); });
+  cluster_->simulator().run();
+  EXPECT_EQ(cluster_->replication().counters().copies_completed, 0u);
+  // No RM is left holding a half-copied pending state.
+  for (std::size_t i = 0; i < cluster_->rm_count(); ++i) {
+    EXPECT_FALSE(cluster_->rm(i).trigger().is_destination()) << "RM" << i + 1;
+    EXPECT_EQ(cluster_->rm(i).replication_lane_rate(), Bandwidth::zero()) << "RM" << i + 1;
+  }
+}
+
+TEST_F(FailureInjectionTest, FirmInvariantHoldsAcrossCrashRecoverCycles) {
+  build();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  ASSERT_TRUE(cluster_->place_replica(1, 1).is_ok());
+  // Continuous load with repeated crash/recover of RM2.
+  for (int i = 0; i < 20; ++i) {
+    cluster_->simulator().schedule_at(SimTime::seconds(5.0 + 10.0 * i),
+                                      [&] { cluster_->client(0).stream_file(1); });
+  }
+  cluster_->simulator().schedule_at(SimTime::seconds(30.0), [&] { cluster_->fail_rm(1); });
+  cluster_->simulator().schedule_at(SimTime::seconds(90.0), [&] { cluster_->recover_rm(1); });
+  cluster_->simulator().schedule_at(SimTime::seconds(150.0), [&] { cluster_->fail_rm(1); });
+  cluster_->simulator().run();
+
+  for (std::size_t i = 0; i < cluster_->rm_count(); ++i) {
+    cluster_->rm(i).ledger().advance_to(cluster_->simulator().now());
+    EXPECT_DOUBLE_EQ(cluster_->rm(i).ledger().overallocated_bytes(), 0.0) << "RM" << i + 1;
+  }
+}
+
+TEST_F(FailureInjectionTest, LateBidsAfterTimeoutAreDropped) {
+  // A cluster with very high latency jitter against a tiny bid timeout:
+  // bids may arrive after the decision and must be ignored.
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.bid_timeout = SimTime::micros(300);  // below the ~400 us round trip
+  cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster_->start();
+  cluster_->simulator().run();
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+
+  Status result;
+  bool called = false;
+  cluster_->client(0).stream_file(1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called);
+  // Timed out before any bid: unavailable — and the late bid did not crash
+  // or double-complete the open.
+  EXPECT_EQ(cluster_->client(0).counters().bid_timeouts, 1u);
+  EXPECT_FALSE(result.is_ok());
+}
+
+}  // namespace
+}  // namespace sqos::dfs

@@ -1,0 +1,59 @@
+#include "dfs/file_types.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+
+namespace sqos::dfs {
+namespace {
+
+TEST(FileMeta, DurationIsSizeOverBitrate) {
+  FileMeta f;
+  f.bitrate = Bandwidth::bytes_per_sec(1000.0);
+  f.size = Bytes::of(30'000);
+  EXPECT_EQ(f.duration(), SimTime::seconds(30.0));
+}
+
+TEST(FileDirectory, LookupById) {
+  const FileDirectory dir = testing::tiny_catalog(3);
+  EXPECT_EQ(dir.size(), 3u);
+  EXPECT_TRUE(dir.contains(2));
+  EXPECT_FALSE(dir.contains(99));
+  EXPECT_EQ(dir.get(2).name, "file-2");
+  EXPECT_DOUBLE_EQ(dir.get(2).bitrate.as_mbps(), 2.0);
+}
+
+TEST(FileDirectory, LookupByName) {
+  const FileDirectory dir = testing::tiny_catalog(3);
+  const FileMeta* f = dir.find_by_name("file-3");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->id, 3u);
+  EXPECT_EQ(dir.find_by_name("nope"), nullptr);
+}
+
+TEST(FileDirectory, EmptyDirectory) {
+  const FileDirectory dir;
+  EXPECT_EQ(dir.size(), 0u);
+  EXPECT_FALSE(dir.contains(1));
+}
+
+TEST(FileDirectory, FilesPreserveOrder) {
+  const FileDirectory dir = testing::tiny_catalog(5);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(dir.files()[i].id, i + 1);
+}
+
+TEST(EcnpMessages, SizeEstimatesGrowWithPayload) {
+  RegisterMsg small;
+  RegisterMsg big;
+  big.stored_files.assign(100, 1);
+  EXPECT_LT(small.estimated_size(), big.estimated_size());
+  EXPECT_GE(small.estimated_size().count(), kMessageHeaderBytes);
+
+  ResourceReplyMsg reply;
+  const Bytes empty = reply.estimated_size();
+  reply.holders.resize(3);
+  EXPECT_GT(reply.estimated_size(), empty);
+}
+
+}  // namespace
+}  // namespace sqos::dfs

@@ -1,0 +1,185 @@
+#include "dfs/metadata_manager.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::dfs {
+namespace {
+
+RegisterMsg reg(std::uint32_t node, double mbps, std::vector<FileId> files = {}) {
+  RegisterMsg m;
+  m.rm = net::NodeId{node};
+  m.dispatched_bandwidth = Bandwidth::mbps(mbps);
+  m.disk_capacity = Bytes::gib(16.0);
+  m.stored_files = std::move(files);
+  return m;
+}
+
+TEST(MetadataManager, RegistrationBuildsGlobalList) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {10, 11}));
+  mm.handle_register(reg(2, 128.0, {11}));
+  EXPECT_EQ(mm.registered_rm_count(), 2u);
+  EXPECT_TRUE(mm.is_registered(net::NodeId{1}));
+  EXPECT_FALSE(mm.is_registered(net::NodeId{3}));
+  EXPECT_EQ(mm.rm_bandwidth(net::NodeId{2}), Bandwidth::mbps(128.0));
+  EXPECT_EQ(mm.replica_count(11), 2u);
+  EXPECT_EQ(mm.replica_count(10), 1u);
+  EXPECT_EQ(mm.total_replicas(), 3u);
+  EXPECT_EQ(mm.counters().registrations, 2u);
+}
+
+TEST(MetadataManager, ResourceQueryReturnsSortedHolders) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(5, 18.0, {7}));
+  mm.handle_register(reg(2, 18.0, {7}));
+  mm.handle_register(reg(9, 18.0, {}));
+  const ResourceReplyMsg r = mm.handle_resource_query(7);
+  ASSERT_EQ(r.holders.size(), 2u);
+  EXPECT_EQ(r.holders[0], net::NodeId{2});
+  EXPECT_EQ(r.holders[1], net::NodeId{5});
+  EXPECT_EQ(mm.counters().resource_queries, 1u);
+}
+
+TEST(MetadataManager, QueryUnknownFileIsEmpty) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0));
+  EXPECT_TRUE(mm.handle_resource_query(42).holders.empty());
+}
+
+TEST(MetadataManager, ReplicaListQueryReturnsNonHolders) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  mm.handle_register(reg(2, 19.0, {}));
+  mm.handle_register(reg(3, 128.0, {7}));
+  const ReplicaListReplyMsg r = mm.handle_replica_list_query(7);
+  EXPECT_EQ(r.current_replicas, 2u);
+  ASSERT_EQ(r.non_holders.size(), 1u);
+  EXPECT_EQ(r.non_holders[0].rm, net::NodeId{2});
+  EXPECT_EQ(r.non_holders[0].initial_bandwidth, Bandwidth::mbps(19.0));
+}
+
+TEST(MetadataManager, ReplicationDoneAddsReplica) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  mm.handle_register(reg(2, 18.0, {}));
+  ReplicationDoneMsg done;
+  done.rm = net::NodeId{2};
+  done.file = 7;
+  mm.handle_replication_done(done);
+  EXPECT_EQ(mm.replica_count(7), 2u);
+  EXPECT_TRUE(mm.handle_replica_list_query(7).non_holders.empty());
+}
+
+TEST(MetadataManager, ReplicaDeleteRemoves) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  ReplicaDeleteMsg del;
+  del.rm = net::NodeId{1};
+  del.file = 7;
+  mm.handle_replica_delete(del);
+  EXPECT_EQ(mm.replica_count(7), 0u);
+  // Deleting again logs but does not crash or underflow.
+  mm.handle_replica_delete(del);
+  EXPECT_EQ(mm.replica_count(7), 0u);
+}
+
+TEST(MetadataManager, ReRegistrationResetsEntry) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7, 8}));
+  mm.handle_register(reg(1, 20.0, {9}));
+  EXPECT_EQ(mm.registered_rm_count(), 1u);
+  EXPECT_EQ(mm.rm_bandwidth(net::NodeId{1}), Bandwidth::mbps(20.0));
+  EXPECT_EQ(mm.replica_count(7), 0u);
+  EXPECT_EQ(mm.replica_count(9), 1u);
+}
+
+TEST(MetadataManager, BootstrapReplicaBypassesProtocol) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0));
+  mm.bootstrap_replica(net::NodeId{1}, 5);
+  EXPECT_EQ(mm.replica_count(5), 1u);
+  EXPECT_EQ(mm.counters().replication_done, 0u);
+}
+
+TEST(MetadataManager, KnownFilesSorted) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {9, 2, 5}));
+  EXPECT_EQ(mm.known_files(), (std::vector<FileId>{2, 5, 9}));
+}
+
+TEST(MetadataManager, ResourceUpdateReconcilesReplicaSet) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7, 8}));
+  // The RM lost file 8 and gained file 9; a lost delete/commit pair.
+  mm.handle_resource_update(reg(1, 18.0, {7, 9}));
+  EXPECT_EQ(mm.replica_count(7), 1u);
+  EXPECT_EQ(mm.replica_count(8), 0u);
+  EXPECT_EQ(mm.replica_count(9), 1u);
+  EXPECT_EQ(mm.registered_rm_count(), 1u);
+}
+
+TEST(MetadataManager, ResourceUpdateOnlyTouchesTheReportingRm) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  mm.handle_register(reg(2, 18.0, {7}));
+  mm.handle_resource_update(reg(1, 18.0, {}));
+  EXPECT_EQ(mm.replica_count(7), 1u);  // RM2's replica untouched
+  ASSERT_EQ(mm.holders_of(7).size(), 1u);
+  EXPECT_EQ(mm.holders_of(7)[0], net::NodeId{2});
+}
+
+TEST(MetadataManager, SurplusFilesRespectFloorAndHolder) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {1, 2}));
+  mm.handle_register(reg(2, 18.0, {1}));
+  mm.handle_register(reg(3, 18.0, {1}));
+  // file 1: 3 replicas; file 2: 1 replica.
+  EXPECT_EQ(mm.surplus_files_of(net::NodeId{1}, 2), (std::vector<FileId>{1}));
+  EXPECT_TRUE(mm.surplus_files_of(net::NodeId{1}, 3).empty());
+  // RM2 holds file 1 too; RM9 holds nothing.
+  EXPECT_EQ(mm.surplus_files_of(net::NodeId{2}, 2), (std::vector<FileId>{1}));
+  EXPECT_TRUE(mm.surplus_files_of(net::NodeId{9}, 0).empty());
+}
+
+TEST(MetadataManager, CountersTrackHandlerInvocations) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  (void)mm.handle_resource_query(7);
+  (void)mm.handle_replica_list_query(7);
+  DeleteRequestMsg del;
+  del.rm = net::NodeId{1};
+  del.file = 7;
+  del.min_replicas = 0;
+  (void)mm.handle_delete_request(del);
+  const auto& c = mm.counters();
+  EXPECT_EQ(c.registrations, 1u);
+  EXPECT_EQ(c.resource_queries, 1u);
+  EXPECT_EQ(c.replica_list_queries, 1u);
+  EXPECT_EQ(c.delete_requests, 1u);
+  EXPECT_EQ(c.deletes_approved, 1u);
+}
+
+TEST(MetadataManager, DeleteRequestDeniedWhenNotHolder) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(1, 18.0, {7}));
+  mm.handle_register(reg(2, 18.0, {7}));
+  DeleteRequestMsg del;
+  del.rm = net::NodeId{9};  // not a holder
+  del.file = 7;
+  del.min_replicas = 0;
+  EXPECT_FALSE(mm.handle_delete_request(del).approved);
+  EXPECT_EQ(mm.replica_count(7), 2u);
+}
+
+TEST(MetadataManager, RegisteredRmsList) {
+  MetadataManager mm{net::NodeId{0}};
+  mm.handle_register(reg(3, 18.0));
+  mm.handle_register(reg(1, 18.0));
+  const auto rms = mm.registered_rms();
+  ASSERT_EQ(rms.size(), 2u);
+  EXPECT_EQ(rms[0], net::NodeId{3});  // registration order
+  EXPECT_EQ(rms[1], net::NodeId{1});
+}
+
+}  // namespace
+}  // namespace sqos::dfs

@@ -1,0 +1,188 @@
+#include "dfs/mm_directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+
+namespace sqos::dfs {
+namespace {
+
+net::LatencyModel quiet_latency() {
+  net::LatencyModel::Params p;
+  p.jitter_mean = SimTime::zero();
+  return net::LatencyModel{p, Rng{1}};
+}
+
+TEST(MetadataDirectory, SingleShardBehavesLikeSingleMm) {
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory dir{net, 1};
+  EXPECT_EQ(dir.shard_count(), 1u);
+  for (FileId f = 1; f <= 100; ++f) {
+    EXPECT_EQ(&dir.shard_for(f), &dir.shard(0));
+    EXPECT_EQ(dir.node_for(f), dir.node_id());
+  }
+}
+
+TEST(MetadataDirectory, RoutingIsDeterministic) {
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory dir{net, 4};
+  for (FileId f = 1; f <= 50; ++f) {
+    EXPECT_EQ(&dir.shard_for(f), &dir.shard_for(f));
+    EXPECT_EQ(dir.node_for(f), dir.shard_for(f).node_id());
+  }
+}
+
+TEST(MetadataDirectory, OwnershipRoughlyBalanced) {
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory dir{net, 4, 128};
+  const auto hist = dir.ownership_histogram(1, 10'000);
+  ASSERT_EQ(hist.size(), 4u);
+  std::size_t total = 0;
+  for (const std::size_t h : hist) {
+    total += h;
+    // Each shard owns between 10 % and 45 % (consistent hashing with 128
+    // virtual nodes balances to roughly 25 % each).
+    EXPECT_GT(h, 1000u);
+    EXPECT_LT(h, 4500u);
+  }
+  EXPECT_EQ(total, 10'000u);
+}
+
+TEST(MetadataDirectory, PerFileStateLivesOnOwningShardOnly) {
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory dir{net, 3};
+  dir.bootstrap_replica(net::NodeId{42}, 7);
+  EXPECT_EQ(dir.replica_count(7), 1u);
+  EXPECT_EQ(dir.total_replicas(), 1u);
+  std::size_t shards_with_replica = 0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    shards_with_replica += dir.shard(s).replica_count(7) > 0 ? 1u : 0u;
+  }
+  EXPECT_EQ(shards_with_replica, 1u);
+  ASSERT_EQ(dir.holders_of(7).size(), 1u);
+  EXPECT_EQ(dir.holders_of(7)[0], net::NodeId{42});
+}
+
+TEST(MetadataDirectory, KnownFilesUnionsShards) {
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory dir{net, 4};
+  for (FileId f = 1; f <= 20; ++f) dir.bootstrap_replica(net::NodeId{1}, f);
+  const auto files = dir.known_files();
+  ASSERT_EQ(files.size(), 20u);
+  for (FileId f = 1; f <= 20; ++f) EXPECT_EQ(files[f - 1], f);
+}
+
+TEST(MetadataDirectory, ConsistentHashingMovesFewKeysOnReshard) {
+  // The defining property of consistent hashing: going from k to k+1 shards
+  // relocates roughly n/(k+1) keys, not a full reshuffle.
+  sim::Simulator sim;
+  net::Network net{sim, quiet_latency()};
+  MetadataDirectory four{net, 4, 128};
+  MetadataDirectory five{net, 5, 128};
+
+  const std::size_t n = 5000;
+  const auto owner = [](MetadataDirectory& dir, FileId f) {
+    // Infer the owning shard via where a bootstrap replica lands.
+    dir.bootstrap_replica(net::NodeId{1}, f);
+    for (std::size_t s = 0; s < dir.shard_count(); ++s) {
+      if (dir.shard(s).replica_count(f) > 0) return s;
+    }
+    return dir.shard_count();
+  };
+  std::size_t moved = 0;
+  for (FileId f = 1; f <= n; ++f) {
+    if (owner(four, f) != owner(five, f)) ++moved;
+  }
+  // Expected ~n/5 = 1000; a full reshuffle would move ~n·(1 - 1/5) = 4000.
+  EXPECT_GT(moved, n / 10);
+  EXPECT_LT(moved, n / 2);
+}
+
+// ----------------------------------------------------- end-to-end sharded --
+
+class ShardedClusterTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedClusterTest, FullProtocolWorksAcrossShardCounts) {
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.mm_shards = GetParam();
+  cfg.replication = core::ReplicationConfig::rep(1, 3);
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  cluster->simulator().run();
+  EXPECT_EQ(cluster->mm().registered_rm_count(), 3u);
+
+  for (FileId f = 1; f <= 4; ++f) {
+    ASSERT_TRUE(cluster->place_replica((f - 1) % 3, f).is_ok());
+  }
+
+  int completed = 0;
+  for (FileId f = 1; f <= 4; ++f) {
+    cluster->client(0).stream_file(f, [&](const Status& s) {
+      EXPECT_TRUE(s.is_ok()) << s.to_string();
+      ++completed;
+    });
+  }
+  cluster->simulator().run();
+  EXPECT_EQ(completed, 4);
+  EXPECT_EQ(cluster->mm().total_replicas(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ShardedClusterTest, ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ShardedCluster, ReplicationUpdatesOwningShard) {
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.mm_shards = 4;
+  cfg.mode = core::AllocationMode::kSoft;
+  cfg.replication = core::ReplicationConfig::rep(1, 3);
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  cluster->simulator().run();
+  ASSERT_TRUE(cluster->place_replica(1, 4).is_ok());
+  for (int i = 0; i < 3; ++i) cluster->client(0).stream_file(4);
+  cluster->simulator().run();
+  EXPECT_EQ(cluster->replication().counters().copies_completed, 1u);
+  EXPECT_EQ(cluster->mm().replica_count(4), 2u);
+}
+
+TEST(ShardedCluster, GcWorksAcrossShards) {
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.mm_shards = 4;
+  cfg.deletion.enabled = true;
+  cfg.deletion.min_replicas = 1;
+  cfg.deletion.idle_threshold = SimTime::seconds(300.0);
+  cfg.deletion.min_age = SimTime::seconds(60.0);
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  cluster->simulator().run();
+  for (FileId f = 1; f <= 4; ++f) {
+    ASSERT_TRUE(cluster->place_replica(0, f).is_ok());
+    ASSERT_TRUE(cluster->place_replica(1, f).is_ok());
+  }
+  cluster->gc().start(SimTime::hours(1.0));
+  cluster->simulator().run();
+  for (FileId f = 1; f <= 4; ++f) EXPECT_EQ(cluster->mm().replica_count(f), 1u) << "file " << f;
+}
+
+TEST(ShardedCluster, RecoveryReRegistersOnEveryShard) {
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.mm_shards = 4;
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  cluster->simulator().run();
+  for (FileId f = 1; f <= 4; ++f) ASSERT_TRUE(cluster->place_replica(0, f).is_ok());
+
+  cluster->fail_rm(0);
+  cluster->recover_rm(0);
+  cluster->simulator().run();
+  // Every file's replica is re-registered on exactly its owning shard.
+  for (FileId f = 1; f <= 4; ++f) EXPECT_EQ(cluster->mm().replica_count(f), 1u) << "file " << f;
+  EXPECT_EQ(cluster->mm().total_replicas(), 4u);
+}
+
+}  // namespace
+}  // namespace sqos::dfs

@@ -1,0 +1,209 @@
+// Write path: file creation + negotiated initial placement + MM commit.
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+
+namespace sqos::dfs {
+namespace {
+
+class WritePathTest : public ::testing::Test {
+ protected:
+  void build(core::AllocationMode mode = core::AllocationMode::kFirm,
+             core::PolicyWeights policy = core::PolicyWeights::p100()) {
+    ClusterConfig cfg = sqos::testing::small_cluster_config();
+    cfg.mode = mode;
+    cfg.policy = policy;
+    cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+    cluster_->start();
+    cluster_->simulator().run();
+  }
+
+  FileMeta new_file(FileId id, double mbps = 2.0, double seconds = 50.0) {
+    FileMeta f;
+    f.id = id;
+    f.name = "written-" + std::to_string(id);
+    f.bitrate = Bandwidth::mbps(mbps);
+    f.size = Bytes::of(static_cast<std::int64_t>(f.bitrate.bps() * seconds));
+    return f;
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(WritePathTest, WriteCreatesRequestedReplicas) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  Status result = Status::internal("not called");
+  cluster_->client(0).write_file(100, 2, [&](const Status& s) { result = s; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(result.is_ok()) << result.to_string();
+  EXPECT_EQ(cluster_->mm().replica_count(100), 2u);
+  EXPECT_EQ(cluster_->client(0).counters().replicas_written, 2u);
+  int on_disk = 0;
+  for (std::size_t i = 0; i < 3; ++i) on_disk += cluster_->rm(i).has_replica(100) ? 1 : 0;
+  EXPECT_EQ(on_disk, 2);
+}
+
+TEST_F(WritePathTest, WrittenFileIsImmediatelyReadable) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  bool read_ok = false;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) {
+    ASSERT_TRUE(s.is_ok());
+    cluster_->client(0).stream_file(100, [&](const Status& rs) { read_ok = rs.is_ok(); });
+  });
+  cluster_->simulator().run();
+  EXPECT_TRUE(read_ok);
+}
+
+TEST_F(WritePathTest, WriteTakesSizeOverBitrateTime) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100, 2.0, 50.0)).is_ok());  // 50 s write
+  SimTime done_at;
+  cluster_->client(0).write_file(100, 1, [&](const Status&) {
+    done_at = cluster_->simulator().now();
+  });
+  cluster_->simulator().run();
+  EXPECT_GT(done_at, SimTime::seconds(50.0));
+  EXPECT_LT(done_at, SimTime::seconds(53.0));  // 50 s + control RTTs
+}
+
+TEST_F(WritePathTest, WriteConsumesBandwidthDuringTransfer) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  cluster_->client(0).write_file(100, 1);
+  cluster_->simulator().run_until(SimTime::seconds(25.0));
+  double total = 0.0;
+  for (std::size_t i = 0; i < 3; ++i) total += cluster_->rm(i).allocated().as_mbps();
+  EXPECT_NEAR(total, 2.0, 0.01);
+  cluster_->simulator().run();
+}
+
+TEST_F(WritePathTest, P100PlacesOnLargestRm) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  cluster_->client(0).write_file(100, 1);
+  cluster_->simulator().run();
+  EXPECT_TRUE(cluster_->rm(0).has_replica(100));  // RM1 is the 40 Mbit/s one
+  EXPECT_EQ(cluster_->rm(0).counters().writes_completed, 1u);
+}
+
+TEST_F(WritePathTest, UnknownFileIdAsserts) {
+  build();
+  // Writing requires prior registration via add_file; duplicate add fails.
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  EXPECT_FALSE(cluster_->add_file(new_file(100)).is_ok());
+  FileMeta same_name = new_file(101);
+  same_name.name = "written-100";
+  EXPECT_FALSE(cluster_->add_file(same_name).is_ok());
+}
+
+TEST_F(WritePathTest, MoreReplicasThanRmsClampsToAvailable) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  Status result;
+  cluster_->client(0).write_file(100, 99, [&](const Status& s) { result = s; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(result.is_ok());
+  EXPECT_EQ(cluster_->mm().replica_count(100), 3u);
+}
+
+TEST_F(WritePathTest, WriteFailsWhenDisksAreFull) {
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  for (auto& rm : cfg.rms) rm.disk_capacity = Bytes::mib(1.0);
+  cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster_->start();
+  cluster_->simulator().run();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());  // 12.5 MB > 1 MiB disks
+  Status result;
+  bool called = false;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called);
+  EXPECT_EQ(result.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(cluster_->mm().replica_count(100), 0u);
+  EXPECT_EQ(cluster_->client(0).counters().writes_failed, 1u);
+}
+
+TEST_F(WritePathTest, FirmWriteRejectedWithoutBandwidth) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100, 50.0, 10.0)).is_ok());  // 50 Mbit/s > any cap
+  Status result;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) { result = s; });
+  cluster_->simulator().run();
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST_F(WritePathTest, SoftWriteAlwaysPlaces) {
+  build(core::AllocationMode::kSoft);
+  ASSERT_TRUE(cluster_->add_file(new_file(100, 50.0, 10.0)).is_ok());
+  Status result;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) { result = s; });
+  cluster_->simulator().run();
+  EXPECT_TRUE(result.is_ok());
+  EXPECT_EQ(cluster_->mm().replica_count(100), 1u);
+}
+
+TEST_F(WritePathTest, CrashDuringWriteFailsOverAndDiscardsTornReplica) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  Status result;
+  bool called = false;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  // The write goes to RM1 under (1,0,0); crash it mid-transfer. The client
+  // fails over to the next-ranked candidate and the write still succeeds.
+  cluster_->simulator().schedule_at(SimTime::seconds(20.0), [&] { cluster_->fail_rm(0); });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called);
+  EXPECT_TRUE(result.is_ok()) << result.to_string();
+  EXPECT_FALSE(cluster_->rm(0).has_replica(100));  // torn write rolled back
+  EXPECT_EQ(cluster_->mm().replica_count(100), 1u);
+  EXPECT_TRUE(cluster_->rm(1).has_replica(100) || cluster_->rm(2).has_replica(100));
+}
+
+TEST_F(WritePathTest, WriteFailsWhenEveryCandidateCrashes) {
+  build();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  Status result;
+  bool called = false;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) {
+    called = true;
+    result = s;
+  });
+  cluster_->simulator().schedule_at(SimTime::seconds(20.0), [&] {
+    for (std::size_t i = 0; i < 3; ++i) cluster_->fail_rm(i);
+  });
+  cluster_->simulator().run();
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(cluster_->mm().replica_count(100), 0u);
+}
+
+TEST_F(WritePathTest, ConcurrentWritesRespectDiskReservation) {
+  // Disks sized to fit exactly one written replica: two concurrent writes
+  // to the same cluster must land on different RMs, never over-commit one.
+  ClusterConfig cfg = sqos::testing::small_cluster_config();
+  for (auto& rm : cfg.rms) rm.disk_capacity = Bytes::of(13'000'000);  // one 12.5 MB file
+  cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster_->start();
+  cluster_->simulator().run();
+  ASSERT_TRUE(cluster_->add_file(new_file(100)).is_ok());
+  ASSERT_TRUE(cluster_->add_file(new_file(101)).is_ok());
+  int ok = 0;
+  cluster_->client(0).write_file(100, 1, [&](const Status& s) { ok += s.is_ok(); });
+  cluster_->client(0).write_file(101, 1, [&](const Status& s) { ok += s.is_ok(); });
+  cluster_->simulator().run();
+  EXPECT_EQ(ok, 2);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_LE(cluster_->rm(i).disk().used().count(), 13'000'000);
+  }
+}
+
+}  // namespace
+}  // namespace sqos::dfs

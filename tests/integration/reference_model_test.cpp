@@ -1,0 +1,185 @@
+// Reference-model fuzzing: drive a component with long random operation
+// sequences and compare against an obviously-correct (slow) model after
+// every step. These catch state-machine bugs that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+
+#include "core/history_window.hpp"
+#include "sim/event_queue.hpp"
+#include "storage/bandwidth_ledger.hpp"
+#include "storage/flow.hpp"
+#include "util/rng.hpp"
+
+namespace sqos {
+namespace {
+
+// ------------------------------------------------------------- FlowTable --
+
+TEST(ReferenceModel, FlowTableMatchesMapModel) {
+  storage::FlowTable table;
+  std::map<std::uint64_t, double> model;  // id -> rate bps
+  std::vector<storage::FlowId> live;
+  Rng rng{2024};
+
+  for (int step = 0; step < 20'000; ++step) {
+    const bool add = live.empty() || rng.next_double() < 0.55;
+    if (add) {
+      const double rate = rng.uniform(0.0, 3e6);
+      const storage::FlowId id = table.add(storage::FlowKind::kRead, rng.next_below(100),
+                                           Bandwidth::bytes_per_sec(rate), SimTime::zero());
+      model.emplace(storage::to_underlying(id), rate);
+      live.push_back(id);
+    } else {
+      const std::size_t pick = rng.next_below(live.size());
+      const storage::FlowId id = live[pick];
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+      EXPECT_TRUE(table.remove(id));
+      model.erase(storage::to_underlying(id));
+    }
+    ASSERT_EQ(table.size(), model.size());
+    double expected = 0.0;
+    for (const auto& [_, r] : model) expected += r;
+    // The table keeps a running total; allow accumulated float drift.
+    ASSERT_NEAR(table.total_rate().bps(), expected, 1e-3 + expected * 1e-9) << "step " << step;
+  }
+}
+
+// ------------------------------------------------------------ EventQueue --
+
+TEST(ReferenceModel, EventQueueMatchesMultimapModel) {
+  sim::EventQueue queue;
+  // Reference: ordered by (time, seq); cancellation removes by id.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, std::uint64_t> model;
+  std::map<std::uint64_t, std::multimap<std::pair<std::int64_t, std::uint64_t>,
+                                        std::uint64_t>::iterator>
+      by_id;
+  Rng rng{7};
+  std::uint64_t seq = 0;
+  std::uint64_t next_id = 1;
+
+  for (int step = 0; step < 30'000; ++step) {
+    const double op = rng.next_double();
+    if (op < 0.5) {  // push
+      sim::Event e;
+      const std::int64_t t = static_cast<std::int64_t>(rng.next_below(1000));
+      e.time = SimTime::micros(t);
+      e.seq = seq++;
+      e.id = sim::EventId{next_id};
+      e.fn = [] {};
+      queue.push(std::move(e));
+      by_id.emplace(next_id, model.emplace(std::make_pair(t, seq - 1), next_id));
+      ++next_id;
+    } else if (op < 0.8) {  // pop
+      sim::Event out;
+      const bool got = queue.pop(out);
+      ASSERT_EQ(got, !model.empty());
+      if (got) {
+        const auto expected = model.begin();
+        ASSERT_EQ(out.time.as_micros(), expected->first.first);
+        ASSERT_EQ(out.seq, expected->first.second);
+        ASSERT_EQ(sim::to_underlying(out.id), expected->second);
+        by_id.erase(expected->second);
+        model.erase(expected);
+      }
+    } else {  // cancel a random (possibly absent) id
+      const std::uint64_t target = 1 + rng.next_below(next_id);
+      const auto it = by_id.find(target);
+      const bool cancelled = queue.cancel(sim::EventId{target});
+      ASSERT_EQ(cancelled, it != by_id.end());
+      if (it != by_id.end()) {
+        model.erase(it->second);
+        by_id.erase(it);
+      }
+    }
+    ASSERT_EQ(queue.size(), model.size());
+  }
+}
+
+// -------------------------------------------------------- BandwidthLedger --
+
+TEST(ReferenceModel, LedgerMatchesScalarIntegration) {
+  const double cap = 1.8e6;
+  storage::BandwidthLedger ledger{Bandwidth::bytes_per_sec(cap), SimTime::zero()};
+  double assigned = 0.0;
+  double over = 0.0;
+  double current = 0.0;
+  std::int64_t t_us = 0;
+  Rng rng{99};
+
+  for (int step = 0; step < 50'000; ++step) {
+    const std::int64_t dt = static_cast<std::int64_t>(rng.next_below(5'000'000));
+    t_us += dt;
+    const double dt_s = static_cast<double>(dt) / 1e6;
+    assigned += current * dt_s;
+    over += std::max(0.0, current - cap) * dt_s;
+    current = rng.uniform(0.0, 3e6);
+    ledger.on_allocation_change(SimTime::micros(t_us), Bandwidth::bytes_per_sec(current));
+  }
+  ledger.advance_to(SimTime::micros(t_us + 1'000'000));
+  assigned += current * 1.0;
+  over += std::max(0.0, current - cap) * 1.0;
+
+  EXPECT_NEAR(ledger.assigned_bytes(), assigned, assigned * 1e-9 + 1.0);
+  EXPECT_NEAR(ledger.overallocated_bytes(), over, over * 1e-9 + 1.0);
+}
+
+// ------------------------------------------------------- TwoQueueHistory --
+
+TEST(ReferenceModel, HistoryMatchesDequeModel) {
+  core::HistoryParams params;
+  params.sample_limit = 5;
+  params.expiry = SimTime::seconds(30.0);
+  core::TwoQueueHistory history{params};
+
+  // Reference model of the recording window.
+  struct Window {
+    std::int64_t start_us = 0;
+    std::int64_t bytes = 0;
+    std::size_t samples = 0;
+    bool open = false;
+  };
+  Window rec;
+  Window ref;
+  bool ref_valid = false;
+  std::int64_t ref_end_us = 0;
+
+  Rng rng{41};
+  std::int64_t now_us = 0;
+  const auto exchange = [&](std::int64_t at_us) {
+    ref = rec;
+    ref_valid = true;
+    ref_end_us = at_us;
+    rec = Window{};
+    rec.start_us = at_us;
+  };
+
+  for (int step = 0; step < 20'000; ++step) {
+    now_us += static_cast<std::int64_t>(rng.next_below(8'000'000));
+    // Model: expiry check first, then record.
+    if (rec.open && now_us - rec.start_us >= 30'000'000) exchange(now_us);
+    const std::int64_t bytes = static_cast<std::int64_t>(rng.next_below(1'000'000));
+    if (!rec.open) {
+      rec.start_us = now_us;
+      rec.open = true;
+    }
+    rec.bytes += bytes;
+    ++rec.samples;
+    if (rec.samples >= 5) exchange(now_us);
+
+    history.record(SimTime::micros(now_us), Bytes::of(bytes));
+
+    const core::WindowStats stats = history.reference(SimTime::micros(now_us));
+    ASSERT_EQ(stats.valid, ref_valid) << "step " << step;
+    if (ref_valid) {
+      ASSERT_EQ(stats.fs_total.count(), ref.bytes);
+      ASSERT_EQ(stats.samples, ref.samples);
+      ASSERT_EQ(stats.t_start.as_micros(), ref.start_us);
+      ASSERT_EQ(stats.t_end.as_micros(), ref_end_us);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqos

@@ -1,0 +1,172 @@
+// Randomized soak tests: long runs mixing every subsystem — streams, writes,
+// dynamic replication, GC and random crash/recovery — with whole-system
+// consistency checked at quiescence. These are the tests most likely to
+// catch protocol races the targeted suites miss.
+#include <gtest/gtest.h>
+
+#include "testing/consistency.hpp"
+#include "testing/test_cluster.hpp"
+#include "workload/access_pattern.hpp"
+#include "workload/placement.hpp"
+#include "workload/video_catalog.hpp"
+
+namespace sqos::dfs {
+namespace {
+
+ClusterConfig soak_cluster_config() {
+  ClusterConfig cfg;
+  cfg.machines.push_back(MachineSpec{"m1", Bandwidth::mbps(128.0)});
+  cfg.machines.push_back(MachineSpec{"m2", Bandwidth::mbps(128.0)});
+  for (int i = 1; i <= 6; ++i) {
+    cfg.rms.push_back(RmSpec{"RM" + std::to_string(i),
+                             Bandwidth::mbps(i <= 2 ? 40.0 : 12.0), Bytes::gib(4.0),
+                             static_cast<std::size_t>((i - 1) % 2)});
+  }
+  cfg.client_count = 3;
+  cfg.mm_shards = 2;
+  return cfg;
+}
+
+class SoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SoakTest, MixedWorkloadWithCrashesStaysConsistent) {
+  const std::uint64_t seed = GetParam();
+  Rng rng{seed};
+
+  workload::CatalogParams catalog_params;
+  catalog_params.file_count = 60;
+  catalog_params.duration_min_s = 30.0;
+  catalog_params.duration_max_s = 120.0;
+  Rng catalog_rng = rng.fork("catalog");
+  FileDirectory directory = workload::generate_catalog(catalog_params, catalog_rng);
+
+  ClusterConfig cfg = soak_cluster_config();
+  cfg.mode = seed % 2 == 0 ? core::AllocationMode::kFirm : core::AllocationMode::kSoft;
+  cfg.policy = core::PolicyWeights::paper_set()[seed % 5];
+  cfg.replication = core::ReplicationConfig::rep(1, 4);
+  // Exercise the holder cache on a third of the seeds (stale entries must
+  // degrade to failed/retried opens, never to hangs or inconsistency).
+  if (seed % 3 == 0) cfg.holder_cache_ttl = SimTime::seconds(90.0);
+  cfg.deletion.enabled = true;
+  cfg.deletion.min_replicas = 2;
+  cfg.deletion.idle_threshold = SimTime::seconds(240.0);
+  cfg.seed = seed;
+  auto built = Cluster::build(std::move(cfg), std::move(directory));
+  ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+  Cluster& cluster = *built.value();
+
+  Rng placement_rng = rng.fork("placement");
+  workload::PlacementParams placement;
+  placement.replicas = 2;
+  ASSERT_TRUE(workload::place_static_replicas(cluster, placement, placement_rng).is_ok());
+  cluster.start();
+  cluster.gc().start(SimTime::minutes(30.0));
+  // Anti-entropy heals MM state corrupted by lost commit/delete messages
+  // during partitions; it runs well past the last possible transfer so the
+  // final refresh observes the settled disk truth.
+  cluster.start_resource_refresh(SimTime::seconds(60.0), SimTime::minutes(40.0));
+
+  // Streams: popularity-weighted arrivals over 30 minutes.
+  const workload::PopularitySampler sampler{cluster.directory()};
+  Rng arrivals = rng.fork("arrivals");
+  std::uint64_t stream_callbacks = 0;
+  std::uint64_t streams_issued = 0;
+  for (int i = 0; i < 250; ++i) {
+    const SimTime at = SimTime::seconds(arrivals.uniform(1.0, 1800.0));
+    const FileId file = sampler.sample(arrivals);
+    const std::size_t client = arrivals.next_below(3);
+    ++streams_issued;
+    cluster.simulator().schedule_at(at, [&cluster, &stream_callbacks, client, file] {
+      cluster.client(client).stream_file(file, [&stream_callbacks](const Status&) {
+        ++stream_callbacks;
+      });
+    });
+  }
+
+  // Writes: a dozen new objects created during the run.
+  Rng writer = rng.fork("writer");
+  std::uint64_t write_callbacks = 0;
+  for (int i = 0; i < 12; ++i) {
+    FileMeta meta;
+    meta.id = 1000 + static_cast<FileId>(i);
+    meta.name = "soak-" + std::to_string(i);
+    meta.bitrate = Bandwidth::mbps(writer.uniform(0.5, 3.0));
+    meta.size = Bytes::of(static_cast<std::int64_t>(meta.bitrate.bps() * 60.0));
+    const SimTime at = SimTime::seconds(writer.uniform(10.0, 1500.0));
+    cluster.simulator().schedule_at(at, [&cluster, &write_callbacks, meta] {
+      ASSERT_TRUE(cluster.add_file(meta).is_ok());
+      cluster.client(0).write_file(meta.id, 2, [&write_callbacks](const Status&) {
+        ++write_callbacks;
+      });
+    });
+  }
+
+  // Chaos: crash/recover cycles on random RMs (always recovered well before
+  // the end so the final state is quiescent and fully online).
+  Rng chaos = rng.fork("chaos");
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t victim = chaos.next_below(6);
+    const double down_at = chaos.uniform(60.0, 1200.0);
+    const double up_at = down_at + chaos.uniform(30.0, 120.0);
+    cluster.simulator().schedule_at(SimTime::seconds(down_at),
+                                    [&cluster, victim] { cluster.fail_rm(victim); });
+    cluster.simulator().schedule_at(SimTime::seconds(up_at),
+                                    [&cluster, victim] { cluster.recover_rm(victim); });
+  }
+
+  // More chaos: transient network partitions between random client/RM/MM
+  // pairs, always healed before the end.
+  for (int i = 0; i < 4; ++i) {
+    const net::NodeId a = chaos.next_double() < 0.5
+                              ? cluster.client(chaos.next_below(3)).node_id()
+                              : cluster.rm(chaos.next_below(6)).node_id();
+    const net::NodeId b = chaos.next_double() < 0.5
+                              ? cluster.mm().shard(chaos.next_below(2)).node_id()
+                              : cluster.rm(chaos.next_below(6)).node_id();
+    if (a == b) continue;
+    const double cut_at = chaos.uniform(60.0, 1200.0);
+    const double heal_at = cut_at + chaos.uniform(30.0, 180.0);
+    cluster.simulator().schedule_at(SimTime::seconds(cut_at), [&cluster, a, b] {
+      cluster.network().set_link_down(a, b);
+    });
+    cluster.simulator().schedule_at(SimTime::seconds(heal_at), [&cluster, a, b] {
+      cluster.network().set_link_up(a, b);
+    });
+  }
+
+  cluster.simulator().run();
+
+  // Liveness: every issued request got exactly one callback (no hangs, no
+  // double completion).
+  EXPECT_EQ(stream_callbacks, streams_issued);
+  EXPECT_EQ(write_callbacks, 12u);
+
+  // Safety: metadata and storage agree; no leaked volatile state.
+  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
+    EXPECT_TRUE(cluster.rm(i).is_online());
+  }
+  sqos::testing::expect_quiescent_consistency(cluster);
+
+  // Firm invariant when applicable.
+  if (cluster.config().mode == core::AllocationMode::kFirm) {
+    for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
+      cluster.rm(i).ledger().advance_to(cluster.simulator().now());
+      EXPECT_DOUBLE_EQ(cluster.rm(i).ledger().overallocated_bytes(), 0.0);
+    }
+  }
+
+  // Replica floors: GC never dropped a catalog file below its floor while
+  // it still had surplus... at minimum every original file keeps >= 1
+  // replica and never exceeds N_MAXR + concurrent slack.
+  for (const FileMeta& f : cluster.directory().files()) {
+    if (f.id >= 1000) continue;  // written files checked separately
+    const std::size_t count = cluster.mm().replica_count(f.id);
+    EXPECT_GE(count, 1u) << "file " << f.id;
+    EXPECT_LE(count, 6u) << "file " << f.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoakTest, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace sqos::dfs

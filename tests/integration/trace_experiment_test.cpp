@@ -1,0 +1,83 @@
+// Trace-driven experiments: replaying a saved pattern must reproduce the
+// generated run exactly, and lets configurations be compared on identical
+// workloads (the paper's fixed-pattern methodology).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "exp/experiment.hpp"
+#include "workload/trace.hpp"
+#include "workload/video_catalog.hpp"
+
+namespace sqos::exp {
+namespace {
+
+std::string temp_trace(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(TraceExperiment, ReplayEqualsGeneratedRun) {
+  ExperimentParams params;
+  params.users = 48;
+  params.mode = core::AllocationMode::kFirm;
+  params.seed = 5;
+
+  // Save exactly the pattern the generated run will use (same seed forks).
+  Rng root{params.seed};
+  Rng catalog_rng = root.fork("catalog");
+  const dfs::FileDirectory directory = workload::generate_catalog(params.catalog, catalog_rng);
+  Rng pattern_rng = root.fork("pattern");
+  const auto pattern =
+      workload::generate_pattern(directory, paper_pattern_params(params.users), pattern_rng);
+  const std::string path = temp_trace("sqos_exp_trace.txt");
+  ASSERT_TRUE(workload::save_trace(path, pattern).is_ok());
+
+  const ExperimentResult generated = run_experiment(params);
+  params.trace_path = path;
+  const ExperimentResult replayed = run_experiment(params);
+
+  EXPECT_EQ(generated.requests, replayed.requests);
+  EXPECT_EQ(generated.failed, replayed.failed);
+  EXPECT_DOUBLE_EQ(generated.overallocate_ratio, replayed.overallocate_ratio);
+  for (std::size_t i = 0; i < generated.per_rm.size(); ++i) {
+    EXPECT_DOUBLE_EQ(generated.per_rm[i].assigned_bytes, replayed.per_rm[i].assigned_bytes);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TraceExperiment, SameTraceDifferentPolicies) {
+  // Two configurations on the byte-identical workload: request counts match
+  // exactly; outcomes may differ only through the policy.
+  ExperimentParams params;
+  params.users = 96;
+  params.mode = core::AllocationMode::kFirm;
+  params.seed = 9;
+
+  Rng root{params.seed};
+  Rng catalog_rng = root.fork("catalog");
+  const dfs::FileDirectory directory = workload::generate_catalog(params.catalog, catalog_rng);
+  Rng pattern_rng = root.fork("pattern");
+  const auto pattern =
+      workload::generate_pattern(directory, paper_pattern_params(params.users), pattern_rng);
+  const std::string path = temp_trace("sqos_exp_trace2.txt");
+  ASSERT_TRUE(workload::save_trace(path, pattern).is_ok());
+  params.trace_path = path;
+
+  params.policy = core::PolicyWeights::random();
+  const ExperimentResult random = run_experiment(params);
+  params.policy = core::PolicyWeights::p100();
+  const ExperimentResult p100 = run_experiment(params);
+
+  EXPECT_EQ(random.requests, p100.requests);
+  EXPECT_LE(p100.fail_rate, random.fail_rate + 1e-9);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceExperiment, MissingTraceAborts) {
+  ExperimentParams params;
+  params.trace_path = "/nonexistent/sqos.trace";
+  EXPECT_DEATH((void)run_experiment(params), "trace load");
+}
+
+}  // namespace
+}  // namespace sqos::exp

@@ -1,0 +1,113 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::sim {
+namespace {
+
+Event make(std::int64_t t_us, std::uint64_t seq, std::uint64_t id) {
+  Event e;
+  e.time = SimTime::micros(t_us);
+  e.seq = seq;
+  e.id = EventId{id};
+  e.fn = [] {};
+  return e;
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  q.push(make(30, 0, 1));
+  q.push(make(10, 1, 2));
+  q.push(make(20, 2, 3));
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time.as_micros(), 10);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time.as_micros(), 20);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.time.as_micros(), 30);
+  EXPECT_FALSE(q.pop(e));
+}
+
+TEST(EventQueue, TiesBreakBySequence) {
+  EventQueue q;
+  q.push(make(10, 5, 1));
+  q.push(make(10, 2, 2));
+  q.push(make(10, 9, 3));
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.seq, 2u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.seq, 5u);
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(e.seq, 9u);
+}
+
+TEST(EventQueue, CancelRemovesEvent) {
+  EventQueue q;
+  q.push(make(10, 0, 1));
+  q.push(make(20, 1, 2));
+  EXPECT_TRUE(q.cancel(EventId{1}));
+  EXPECT_EQ(q.size(), 1u);
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_EQ(to_underlying(e.id), 2u);
+  EXPECT_FALSE(q.pop(e));
+}
+
+TEST(EventQueue, CancelUnknownReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{99}));
+  q.push(make(10, 0, 1));
+  Event e;
+  ASSERT_TRUE(q.pop(e));
+  EXPECT_FALSE(q.cancel(EventId{1}));  // already popped
+}
+
+TEST(EventQueue, DoubleCancelReturnsFalse) {
+  EventQueue q;
+  q.push(make(10, 0, 1));
+  EXPECT_TRUE(q.cancel(EventId{1}));
+  EXPECT_FALSE(q.cancel(EventId{1}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  q.push(make(10, 0, 1));
+  q.push(make(20, 1, 2));
+  EXPECT_EQ(q.next_time().as_micros(), 10);
+  q.cancel(EventId{1});
+  EXPECT_EQ(q.next_time().as_micros(), 20);
+  q.cancel(EventId{2});
+  EXPECT_EQ(q.next_time(), SimTime::max());
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  q.push(make(1, 0, 1));
+  q.push(make(2, 1, 2));
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(EventId{2});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStaySorted) {
+  EventQueue q;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    q.push(make(static_cast<std::int64_t>((i * 7919) % 1000), i, i + 1));
+  }
+  Event e;
+  SimTime last = SimTime::zero();
+  std::size_t popped = 0;
+  while (q.pop(e)) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 1000u);
+}
+
+}  // namespace
+}  // namespace sqos::sim

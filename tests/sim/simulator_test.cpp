@@ -1,0 +1,144 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqos::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunsEventsInOrderAndAdvancesClock) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime::seconds(2.0), [&] { order.push_back(2); });
+  sim.schedule_at(SimTime::seconds(1.0), [&] {
+    order.push_back(1);
+    EXPECT_EQ(sim.now(), SimTime::seconds(1.0));
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.0));
+  EXPECT_EQ(sim.executed_events(), 2u);
+}
+
+TEST(Simulator, SameTimeRunsInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime::seconds(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime fired;
+  sim.schedule_at(SimTime::seconds(5.0), [&] {
+    sim.schedule_after(SimTime::seconds(3.0), [&] { fired = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, SimTime::seconds(8.0));
+}
+
+TEST(Simulator, EventsMayScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime::millis(1), recurse);
+  };
+  sim.schedule_at(SimTime::zero(), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), SimTime::millis(99));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_at(SimTime::seconds(1.0), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(SimTime::seconds(t), [&fired, t] { fired.push_back(t); });
+  }
+  sim.run_until(SimTime::seconds(2.5));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), SimTime::seconds(2.5));
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Simulator, RunUntilWithEmptyQueueAdvancesClock) {
+  Simulator sim;
+  sim.run_until(SimTime::seconds(10.0));
+  EXPECT_EQ(sim.now(), SimTime::seconds(10.0));
+}
+
+TEST(Simulator, RunUntilInclusiveOfDeadlineEvents) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_at(SimTime::seconds(2.0), [&] { ran = true; });
+  sim.run_until(SimTime::seconds(2.0));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopAbortsRun) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(SimTime::seconds(i), [&] {
+      if (++count == 3) sim.stop();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(sim.pending_events(), 7u);
+  sim.run();  // resumes after stop
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, StepExecutesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(SimTime::seconds(1.0), [&] { ++count; });
+  sim.schedule_at(SimTime::seconds(2.0), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto run_once = [] {
+    Simulator sim;
+    std::vector<std::int64_t> trace;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime::micros((i * 37) % 17), [&trace, &sim] {
+        trace.push_back(sim.now().as_micros());
+      });
+    }
+    sim.run();
+    return trace;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sqos::sim

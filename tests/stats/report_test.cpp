@@ -1,0 +1,74 @@
+#include "stats/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "testing/test_cluster.hpp"
+
+namespace sqos {
+namespace {
+
+TEST(RmReport, ListsEveryRmWithState) {
+  auto cluster = testing::make_small_cluster();
+  cluster->start();
+  ASSERT_TRUE(cluster->place_replica(0, 1).is_ok());
+  cluster->client(0).stream_file(1);
+  cluster->simulator().run_until(SimTime::seconds(10.0));
+
+  const std::string report = stats::render_rm_report(*cluster);
+  EXPECT_NE(report.find("RM1"), std::string::npos);
+  EXPECT_NE(report.find("RM2"), std::string::npos);
+  EXPECT_NE(report.find("RM3"), std::string::npos);
+  EXPECT_NE(report.find("1.00Mbps"), std::string::npos);  // active stream
+  EXPECT_NE(report.find("yes"), std::string::npos);       // online column
+  cluster->simulator().run();
+}
+
+TEST(RmReport, MarksOfflineRms) {
+  auto cluster = testing::make_small_cluster();
+  cluster->start();
+  cluster->fail_rm(1);
+  const std::string report = stats::render_rm_report(*cluster);
+  EXPECT_NE(report.find("NO"), std::string::npos);
+  cluster->simulator().run();
+}
+
+TEST(ExperimentSummary, CoversScalarMetrics) {
+  exp::ExperimentResult r;
+  r.simulated_seconds = 7200.0;
+  r.requests = 100;
+  r.completed = 90;
+  r.failed = 10;
+  r.fail_rate = 0.1;
+  r.overallocate_ratio = 0.05;
+  r.mean_negotiation_ms = 1.25;
+  r.control_messages = 5000;
+  r.mm_messages = 700;
+  const std::string s = exp::summarize(r);
+  EXPECT_NE(s.find("10.000%"), std::string::npos);
+  EXPECT_NE(s.find("5.000%"), std::string::npos);
+  EXPECT_NE(s.find("1.250 ms"), std::string::npos);
+  EXPECT_NE(s.find("5000"), std::string::npos);
+  // No replication ran: its section is omitted.
+  EXPECT_EQ(s.find("replication"), std::string::npos);
+  EXPECT_EQ(s.find("gc "), std::string::npos);
+}
+
+TEST(ExperimentSummary, IncludesReplicationAndGcWhenActive) {
+  exp::ExperimentResult r;
+  r.replication_rounds = 3;
+  r.copies_completed = 5;
+  r.self_deletes = 2;
+  r.bytes_copied = 1024 * 1024;
+  r.final_total_replicas = 3000;
+  r.gc_deletes = 7;
+  r.gc_bytes_reclaimed = 2 * 1024 * 1024;
+  const std::string s = exp::summarize(r);
+  EXPECT_NE(s.find("replication"), std::string::npos);
+  EXPECT_NE(s.find("3 rounds, 5 copies, 2 migrations"), std::string::npos);
+  EXPECT_NE(s.find("gc"), std::string::npos);
+  EXPECT_NE(s.find("7 replicas reclaimed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqos

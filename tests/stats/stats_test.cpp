@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "stats/qos_metrics.hpp"
+#include "stats/rm_monitor.hpp"
+#include "testing/test_cluster.hpp"
+
+namespace sqos::stats {
+namespace {
+
+class StatsTest : public ::testing::Test {
+ protected:
+  StatsTest() {
+    dfs::ClusterConfig cfg = sqos::testing::small_cluster_config();
+    cfg.mode = core::AllocationMode::kSoft;
+    cluster_ = sqos::testing::make_small_cluster(std::move(cfg));
+    cluster_->start();
+    EXPECT_TRUE(cluster_->place_replica(1, 4).is_ok());
+  }
+
+  std::unique_ptr<dfs::Cluster> cluster_;
+};
+
+TEST_F(StatsTest, MonitorSamplesAtInterval) {
+  RmMonitor monitor{*cluster_, SimTime::seconds(10.0)};
+  monitor.start(SimTime::seconds(50.0));
+  cluster_->simulator().run_until(SimTime::seconds(60.0));
+  // Samples at 0, 10, 20, 30, 40, 50.
+  EXPECT_EQ(monitor.samples().size(), 6u);
+  EXPECT_EQ(monitor.samples()[0].time, SimTime::zero());
+  EXPECT_EQ(monitor.samples()[5].time, SimTime::seconds(50.0));
+  EXPECT_EQ(monitor.samples()[0].allocated_bps.size(), 3u);
+}
+
+TEST_F(StatsTest, MonitorSeriesTracksAllocation) {
+  RmMonitor monitor{*cluster_, SimTime::seconds(10.0)};
+  monitor.start(SimTime::seconds(120.0));
+  // Start a 4 Mbit/s stream at t=5 lasting 100 s on RM2.
+  cluster_->simulator().schedule_at(SimTime::seconds(5.0),
+                                    [&] { cluster_->client(0).stream_file(4); });
+  cluster_->simulator().run_until(SimTime::seconds(130.0));
+
+  const auto series = monitor.series(1);  // RM2
+  ASSERT_EQ(series.size(), 13u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);                               // t = 0
+  EXPECT_NEAR(series[1], Bandwidth::mbps(4.0).bps(), 1.0);        // t = 10
+  EXPECT_NEAR(series[10], Bandwidth::mbps(4.0).bps(), 1.0);       // t = 100
+  EXPECT_DOUBLE_EQ(series[12], 0.0);                              // t = 120 (done)
+}
+
+TEST_F(StatsTest, AggregatedSeriesSumsGroups) {
+  RmMonitor monitor{*cluster_, SimTime::seconds(10.0)};
+  monitor.start(SimTime::seconds(20.0));
+  ASSERT_TRUE(cluster_->place_replica(0, 1).is_ok());
+  cluster_->simulator().schedule_at(SimTime::seconds(1.0), [&] {
+    cluster_->client(0).stream_file(4);  // RM2 at 4 Mbit/s
+    cluster_->client(0).stream_file(1);  // RM1 at 1 Mbit/s
+  });
+  cluster_->simulator().run_until(SimTime::seconds(25.0));
+  const auto agg = monitor.aggregated_series({0, 1, 2});
+  ASSERT_EQ(agg.size(), 3u);
+  EXPECT_NEAR(agg[1], Bandwidth::mbps(5.0).bps(), 1.0);
+}
+
+TEST_F(StatsTest, RmSummariesComputeOverallocateRatio) {
+  // 4 streams x 4 Mbit/s on a 10 Mbit/s RM for 100 s.
+  for (int i = 0; i < 4; ++i) cluster_->client(0).stream_file(4);
+  cluster_->simulator().run();
+  const auto summaries = collect_rm_summaries(*cluster_, cluster_->simulator().now());
+  ASSERT_EQ(summaries.size(), 3u);
+  EXPECT_EQ(summaries[1].name, "RM2");
+  EXPECT_DOUBLE_EQ(summaries[1].cap_bps, Bandwidth::mbps(10.0).bps());
+  EXPECT_GT(summaries[1].assigned_bytes, 0.0);
+  EXPECT_NEAR(summaries[1].overallocate_ratio, 6.0 / 16.0, 1e-6);
+  // Idle RMs have no assignment and zero ratio.
+  EXPECT_DOUBLE_EQ(summaries[0].overallocate_ratio, 0.0);
+}
+
+TEST_F(StatsTest, AggregateRatioIsByteWeighted) {
+  std::vector<RmQosSummary> s(2);
+  s[0].assigned_bytes = 1000.0;
+  s[0].overallocated_bytes = 100.0;
+  s[1].assigned_bytes = 3000.0;
+  s[1].overallocated_bytes = 0.0;
+  EXPECT_DOUBLE_EQ(aggregate_overallocate_ratio(s), 100.0 / 4000.0);
+  EXPECT_DOUBLE_EQ(aggregate_overallocate_ratio({}), 0.0);
+}
+
+TEST_F(StatsTest, OpenStatsAggregateClients) {
+  for (int i = 0; i < 3; ++i) cluster_->client(0).stream_file(4);
+  cluster_->simulator().run();
+  const OpenStats stats = collect_open_stats(*cluster_);
+  EXPECT_EQ(stats.attempted, 3u);
+  EXPECT_EQ(stats.failed, 0u);  // soft mode never fails
+  EXPECT_DOUBLE_EQ(stats.fail_rate(), 0.0);
+}
+
+TEST(OpenStatsTest, FailRateMath) {
+  OpenStats s;
+  EXPECT_DOUBLE_EQ(s.fail_rate(), 0.0);
+  s.attempted = 8;
+  s.failed = 2;
+  EXPECT_DOUBLE_EQ(s.fail_rate(), 0.25);
+}
+
+}  // namespace
+}  // namespace sqos::stats

@@ -1,0 +1,71 @@
+#include "storage/bandwidth_ledger.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::storage {
+namespace {
+
+TEST(BandwidthLedger, NoAllocationNoBytes) {
+  BandwidthLedger l{Bandwidth::mbps(10.0), SimTime::zero()};
+  l.advance_to(SimTime::seconds(100.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(l.overallocate_ratio(), 0.0);
+}
+
+TEST(BandwidthLedger, WithinCapIntegratesAssignedOnly) {
+  BandwidthLedger l{Bandwidth::bytes_per_sec(1000.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(600.0));
+  l.advance_to(SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), 6000.0);
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(l.delivered_bytes(), 6000.0);
+}
+
+TEST(BandwidthLedger, OverCapSplitsExactly) {
+  // Fig. 4 semantics: the area above the cap line is S_OA.
+  BandwidthLedger l{Bandwidth::bytes_per_sec(1000.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(1500.0));
+  l.advance_to(SimTime::seconds(4.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), 6000.0);
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 2000.0);
+  EXPECT_DOUBLE_EQ(l.delivered_bytes(), 4000.0);
+  EXPECT_DOUBLE_EQ(l.overallocate_ratio(), 2000.0 / 6000.0);
+}
+
+TEST(BandwidthLedger, PiecewiseSignalIntegration) {
+  BandwidthLedger l{Bandwidth::bytes_per_sec(100.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(50.0));    // 2s under
+  l.on_allocation_change(SimTime::seconds(2.0), Bandwidth::bytes_per_sec(150.0));  // 3s over
+  l.on_allocation_change(SimTime::seconds(5.0), Bandwidth::zero());           // idle
+  l.advance_to(SimTime::seconds(10.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), 50.0 * 2 + 150.0 * 3);
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 50.0 * 3);
+}
+
+TEST(BandwidthLedger, RepeatedAdvanceIsIdempotent) {
+  BandwidthLedger l{Bandwidth::bytes_per_sec(10.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(5.0));
+  l.advance_to(SimTime::seconds(1.0));
+  const double first = l.assigned_bytes();
+  l.advance_to(SimTime::seconds(1.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), first);
+}
+
+TEST(BandwidthLedger, AllocationAtExactCapIsNotOver) {
+  BandwidthLedger l{Bandwidth::bytes_per_sec(100.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(100.0));
+  l.advance_to(SimTime::seconds(5.0));
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 0.0);
+}
+
+TEST(BandwidthLedger, StateAccessors) {
+  BandwidthLedger l{Bandwidth::mbps(18.0), SimTime::seconds(1.0)};
+  EXPECT_EQ(l.cap(), Bandwidth::mbps(18.0));
+  l.on_allocation_change(SimTime::seconds(2.0), Bandwidth::mbps(3.0));
+  EXPECT_EQ(l.current_allocation(), Bandwidth::mbps(3.0));
+  EXPECT_EQ(l.last_change(), SimTime::seconds(2.0));
+}
+
+}  // namespace
+}  // namespace sqos::storage

@@ -1,0 +1,74 @@
+#include "storage/disk_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sqos::storage {
+namespace {
+
+TEST(DiskStore, AddAndRemove) {
+  DiskStore d{Bytes::mib(100.0)};
+  EXPECT_TRUE(d.add(1, Bytes::mib(40.0)).is_ok());
+  EXPECT_TRUE(d.contains(1));
+  EXPECT_EQ(d.used(), Bytes::mib(40.0));
+  EXPECT_EQ(d.free(), Bytes::mib(60.0));
+  EXPECT_EQ(d.file_count(), 1u);
+  EXPECT_TRUE(d.remove(1).is_ok());
+  EXPECT_FALSE(d.contains(1));
+  EXPECT_EQ(d.used(), Bytes::zero());
+}
+
+TEST(DiskStore, RejectsDuplicate) {
+  DiskStore d{Bytes::mib(100.0)};
+  ASSERT_TRUE(d.add(1, Bytes::mib(1.0)).is_ok());
+  const Status s = d.add(1, Bytes::mib(1.0));
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(d.used(), Bytes::mib(1.0));  // unchanged
+}
+
+TEST(DiskStore, RejectsWhenFull) {
+  DiskStore d{Bytes::mib(10.0)};
+  ASSERT_TRUE(d.add(1, Bytes::mib(6.0)).is_ok());
+  const Status s = d.add(2, Bytes::mib(5.0));
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(d.contains(2));
+  // Exact fit is allowed.
+  EXPECT_TRUE(d.add(3, Bytes::mib(4.0)).is_ok());
+  EXPECT_EQ(d.free(), Bytes::zero());
+}
+
+TEST(DiskStore, RemoveMissingFails) {
+  DiskStore d{Bytes::mib(10.0)};
+  EXPECT_EQ(d.remove(99).code(), StatusCode::kNotFound);
+}
+
+TEST(DiskStore, SizeOfLookups) {
+  DiskStore d{Bytes::mib(10.0)};
+  ASSERT_TRUE(d.add(5, Bytes::mib(2.0)).is_ok());
+  EXPECT_EQ(d.size_of(5), Bytes::mib(2.0));
+  EXPECT_EQ(d.size_of(6), Bytes::zero());
+}
+
+TEST(DiskStore, FileKeysListsEverything) {
+  DiskStore d{Bytes::mib(10.0)};
+  ASSERT_TRUE(d.add(1, Bytes::of(1)).is_ok());
+  ASSERT_TRUE(d.add(2, Bytes::of(1)).is_ok());
+  ASSERT_TRUE(d.add(3, Bytes::of(1)).is_ok());
+  auto keys = d.file_keys();
+  std::sort(keys.begin(), keys.end());
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+TEST(DiskStore, CapacityRestoredAfterChurn) {
+  DiskStore d{Bytes::mib(10.0)};
+  for (int round = 0; round < 20; ++round) {
+    ASSERT_TRUE(d.add(static_cast<std::uint64_t>(round), Bytes::mib(10.0)).is_ok());
+    ASSERT_TRUE(d.remove(static_cast<std::uint64_t>(round)).is_ok());
+  }
+  EXPECT_EQ(d.used(), Bytes::zero());
+  EXPECT_EQ(d.file_count(), 0u);
+}
+
+}  // namespace
+}  // namespace sqos::storage

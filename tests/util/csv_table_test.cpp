@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace sqos {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in{path};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  const std::string path = temp_path("sqos_csv_test.csv");
+  auto w = CsvWriter::open(path, {"a", "b"});
+  ASSERT_TRUE(w.is_ok()) << w.status().to_string();
+  w.value().row({"1", "2"});
+  w.value().row({"x", "y"});
+  EXPECT_EQ(w.value().rows_written(), 2u);
+  // Flush by destroying.
+  { auto sink = std::move(w).take(); }
+  EXPECT_EQ(slurp(path), "a,b\n1,2\nx,y\n");
+  std::filesystem::remove(path);
+}
+
+TEST(CsvWriter, DisabledWriterIsNoop) {
+  CsvWriter w = CsvWriter::disabled();
+  EXPECT_FALSE(w.is_enabled());
+  w.row({"ignored"});
+  EXPECT_EQ(w.rows_written(), 0u);
+}
+
+TEST(CsvWriter, EmptyPathDisables) {
+  auto w = CsvWriter::open("", {"h"});
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_FALSE(w.value().is_enabled());
+}
+
+TEST(CsvWriter, BadPathFails) {
+  auto w = CsvWriter::open("/nonexistent-dir-xyz/file.csv", {"h"});
+  EXPECT_FALSE(w.is_ok());
+}
+
+TEST(CsvEscape, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvWriter::escape("with\"quote"), "\"with\"\"quote\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+TEST(AsciiTable, RendersAlignedBox) {
+  AsciiTable t{"Title"};
+  t.set_header({"col", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| col    | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  // Every rendered table line has the same width.
+  std::istringstream ss{out};
+  std::string line;
+  std::getline(ss, line);  // title
+  std::size_t width = 0;
+  while (std::getline(ss, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(AsciiTable, PadsRaggedRows) {
+  AsciiTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(AsciiTable, EmptyTableRendersNothingButTitle) {
+  AsciiTable t{"only title"};
+  EXPECT_EQ(t.render(), "only title\n");
+  EXPECT_EQ(AsciiTable{}.render(), "");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.24595), "24.595%");
+  EXPECT_EQ(format_percent(0.0), "0.000%");
+  EXPECT_EQ(format_percent(1.0, 1), "100.0%");
+}
+
+TEST(Format, Double) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+}  // namespace
+}  // namespace sqos

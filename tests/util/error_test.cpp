@@ -1,0 +1,62 @@
+#include "util/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  const Status s = Status::not_found("file 7");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "file 7");
+  EXPECT_EQ(s.to_string(), "not-found: file 7");
+}
+
+TEST(Status, AllCodesStringify) {
+  EXPECT_EQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_EQ(to_string(StatusCode::kInvalidArgument), "invalid-argument");
+  EXPECT_EQ(to_string(StatusCode::kNotFound), "not-found");
+  EXPECT_EQ(to_string(StatusCode::kAlreadyExists), "already-exists");
+  EXPECT_EQ(to_string(StatusCode::kResourceExhausted), "resource-exhausted");
+  EXPECT_EQ(to_string(StatusCode::kFailedPrecondition), "failed-precondition");
+  EXPECT_EQ(to_string(StatusCode::kUnavailable), "unavailable");
+  EXPECT_EQ(to_string(StatusCode::kOutOfRange), "out-of-range");
+  EXPECT_EQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(ResultT, HoldsValue) {
+  const Result<int> r{42};
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultT, HoldsStatus) {
+  const Result<int> r{Status::unavailable("nope")};
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultT, TakeMovesValue) {
+  Result<std::string> r{std::string{"payload"}};
+  const std::string v = std::move(r).take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultT, MutableValueAccess) {
+  Result<std::vector<int>> r{std::vector<int>{1, 2}};
+  r.value().push_back(3);
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+}  // namespace
+}  // namespace sqos

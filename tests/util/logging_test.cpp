@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Log::set_level(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelGatingIsOrdered) {
+  Log::set_level(LogLevel::kInfo);
+  EXPECT_FALSE(Log::enabled(LogLevel::kTrace));
+  EXPECT_FALSE(Log::enabled(LogLevel::kDebug));
+  EXPECT_TRUE(Log::enabled(LogLevel::kInfo));
+  EXPECT_TRUE(Log::enabled(LogLevel::kWarn));
+  EXPECT_TRUE(Log::enabled(LogLevel::kError));
+}
+
+TEST_F(LoggingTest, OffDisablesEverything) {
+  Log::set_level(LogLevel::kOff);
+  EXPECT_FALSE(Log::enabled(LogLevel::kError));
+  // Emitting below the level must be a harmless no-op.
+  Log::error("this must not crash: %d", 42);
+}
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  Log::set_level(LogLevel::kDebug);
+  EXPECT_EQ(Log::level(), LogLevel::kDebug);
+}
+
+TEST_F(LoggingTest, FormattingVariantsDoNotCrash) {
+  Log::set_level(LogLevel::kTrace);
+  ::testing::internal::CaptureStderr();
+  Log::trace("plain message");
+  Log::debug("formatted %s %d %.2f", "str", 7, 3.14);
+  Log::info("%llu", 123456789ULL);
+  Log::warn("warn");
+  Log::error("error %c", 'x');
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("plain message"), std::string::npos);
+  EXPECT_NE(err.find("formatted str 7 3.14"), std::string::npos);
+  EXPECT_NE(err.find("[TRACE]"), std::string::npos);
+  EXPECT_NE(err.find("[ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, SuppressedMessagesProduceNoOutput) {
+  Log::set_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  Log::info("should not appear");
+  Log::warn("neither should this");
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace sqos

@@ -1,0 +1,160 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace sqos {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  const Rng root{7};
+  Rng f1 = root.fork("catalog");
+  Rng f2 = root.fork("catalog");
+  Rng f3 = root.fork("pattern");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  Rng f1b = root.fork("catalog");
+  EXPECT_NE(f1b.next_u64(), f3.next_u64());
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.next_double();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, OpenDoubleNeverZero) {
+  Rng rng{5};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GT(rng.next_open_double(), 0.0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng{11};
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllValues) {
+  Rng rng{13};
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng{17};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng{19};
+  double sum = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(300.0);
+  EXPECT_NEAR(sum / n, 300.0, 5.0);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng rng{23};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{29};
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, LogNormalMedian) {
+  Rng rng{31};
+  std::vector<double> xs;
+  const int n = 50'001;
+  xs.reserve(n);
+  for (int i = 0; i < n; ++i) xs.push_back(rng.log_normal(std::log(1.4), 0.5));
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 1.4, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng{37};
+  const std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.2);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng{41};
+  const auto p = rng.permutation(20);
+  std::set<std::size_t> seen{p.begin(), p.end()};
+  EXPECT_EQ(seen.size(), 20u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 19u);
+}
+
+TEST(Rng, PermutationOfZeroAndOne) {
+  Rng rng{43};
+  EXPECT_TRUE(rng.permutation(0).empty());
+  const auto one = rng.permutation(1);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 0u);
+}
+
+TEST(Rng, PermutationIsUniformish) {
+  Rng rng{47};
+  // Position of element 0 across many shuffles should hit every slot.
+  std::vector<int> hist(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    const auto p = rng.permutation(5);
+    for (std::size_t j = 0; j < 5; ++j) {
+      if (p[j] == 0) ++hist[j];
+    }
+  }
+  for (const int h : hist) EXPECT_NEAR(h, 1000, 150);
+}
+
+}  // namespace
+}  // namespace sqos

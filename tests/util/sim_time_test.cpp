@@ -1,0 +1,57 @@
+#include "util/sim_time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  EXPECT_EQ(SimTime{}.as_micros(), 0);
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+}
+
+TEST(SimTime, NamedConstructorsConvert) {
+  EXPECT_EQ(SimTime::micros(1500).as_micros(), 1500);
+  EXPECT_EQ(SimTime::millis(2).as_micros(), 2000);
+  EXPECT_EQ(SimTime::seconds(1.5).as_micros(), 1'500'000);
+  EXPECT_EQ(SimTime::minutes(2.0).as_micros(), 120'000'000);
+  EXPECT_EQ(SimTime::hours(1.0).as_micros(), 3'600'000'000LL);
+}
+
+TEST(SimTime, AsSecondsRoundTrips) {
+  EXPECT_DOUBLE_EQ(SimTime::seconds(300.0).as_seconds(), 300.0);
+  EXPECT_DOUBLE_EQ(SimTime::seconds(300.0).as_minutes(), 5.0);
+}
+
+TEST(SimTime, ArithmeticAndComparison) {
+  const SimTime a = SimTime::seconds(10.0);
+  const SimTime b = SimTime::seconds(4.0);
+  EXPECT_EQ((a + b).as_seconds(), 14.0);
+  EXPECT_EQ((a - b).as_seconds(), 6.0);
+  EXPECT_LT(b, a);
+  EXPECT_GE(a, a);
+  EXPECT_EQ(a * 3, SimTime::seconds(30.0));
+
+  SimTime c = a;
+  c += b;
+  EXPECT_EQ(c, SimTime::seconds(14.0));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(SimTime, NegativeDetection) {
+  EXPECT_TRUE((SimTime::seconds(1.0) - SimTime::seconds(2.0)).is_negative());
+  EXPECT_FALSE(SimTime::zero().is_negative());
+}
+
+TEST(SimTime, MaxActsAsInfinity) {
+  EXPECT_GT(SimTime::max(), SimTime::hours(1e6));
+}
+
+TEST(SimTime, ToStringFormatsSeconds) {
+  EXPECT_EQ(SimTime::seconds(372.25).to_string(), "372.250s");
+  EXPECT_EQ(SimTime::zero().to_string(), "0.000s");
+}
+
+}  // namespace
+}  // namespace sqos

@@ -1,0 +1,92 @@
+#include "util/stats_accum.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos {
+namespace {
+
+TEST(StatsAccumulator, EmptyIsZero) {
+  const StatsAccumulator a;
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+  EXPECT_EQ(a.min(), 0.0);
+  EXPECT_EQ(a.max(), 0.0);
+}
+
+TEST(StatsAccumulator, BasicMoments) {
+  StatsAccumulator a;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(StatsAccumulator, SingleSample) {
+  StatsAccumulator a;
+  a.add(3.5);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), 3.5);
+  EXPECT_DOUBLE_EQ(a.max(), 3.5);
+}
+
+TEST(StatsAccumulator, ResetClears) {
+  StatsAccumulator a;
+  a.add(1.0);
+  a.reset();
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+}
+
+TEST(StatsAccumulator, NegativeValues) {
+  StatsAccumulator a;
+  a.add(-2.0);
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.min(), -2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 2.0);
+}
+
+TEST(TimeWeighted, ConstantSignal) {
+  TimeWeightedAccumulator t{SimTime::zero()};
+  t.update(SimTime::zero(), 5.0);
+  EXPECT_DOUBLE_EQ(t.integral_until(SimTime::seconds(10.0)), 50.0);
+  EXPECT_DOUBLE_EQ(t.average_until(SimTime::seconds(10.0)), 5.0);
+}
+
+TEST(TimeWeighted, StepSignal) {
+  TimeWeightedAccumulator t{SimTime::zero()};
+  t.update(SimTime::zero(), 0.0);
+  t.update(SimTime::seconds(4.0), 10.0);   // 0 for 4s
+  t.update(SimTime::seconds(6.0), 2.0);    // 10 for 2s
+  // 2 for 4s -> integral = 0 + 20 + 8 = 28 over 10s
+  EXPECT_DOUBLE_EQ(t.integral_until(SimTime::seconds(10.0)), 28.0);
+  EXPECT_DOUBLE_EQ(t.average_until(SimTime::seconds(10.0)), 2.8);
+}
+
+TEST(TimeWeighted, NonZeroStart) {
+  TimeWeightedAccumulator t{SimTime::seconds(100.0)};
+  t.update(SimTime::seconds(100.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.average_until(SimTime::seconds(104.0)), 3.0);
+}
+
+TEST(TimeWeighted, ZeroSpanAverageIsCurrentValue) {
+  TimeWeightedAccumulator t{SimTime::zero()};
+  t.update(SimTime::zero(), 7.0);
+  EXPECT_DOUBLE_EQ(t.average_until(SimTime::zero()), 7.0);
+}
+
+TEST(TimeWeighted, CurrentValueTracksUpdates) {
+  TimeWeightedAccumulator t;
+  t.update(SimTime::seconds(1.0), 42.0);
+  EXPECT_DOUBLE_EQ(t.current_value(), 42.0);
+  EXPECT_EQ(t.last_update(), SimTime::seconds(1.0));
+}
+
+}  // namespace
+}  // namespace sqos

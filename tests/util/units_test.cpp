@@ -1,0 +1,90 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos {
+namespace {
+
+TEST(Bytes, Constructors) {
+  EXPECT_EQ(Bytes::of(42).count(), 42);
+  EXPECT_EQ(Bytes::kib(1.0).count(), 1024);
+  EXPECT_EQ(Bytes::mib(1.0).count(), 1024 * 1024);
+  EXPECT_EQ(Bytes::gib(1.0).count(), 1024LL * 1024 * 1024);
+}
+
+TEST(Bytes, ArithmeticAndOrdering) {
+  EXPECT_EQ((Bytes::of(10) + Bytes::of(5)).count(), 15);
+  EXPECT_EQ((Bytes::of(10) - Bytes::of(5)).count(), 5);
+  EXPECT_LT(Bytes::of(1), Bytes::of(2));
+  Bytes b = Bytes::of(1);
+  b += Bytes::of(2);
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(Bytes, ToStringPicksUnit) {
+  EXPECT_EQ(Bytes::of(10).to_string(), "10B");
+  EXPECT_EQ(Bytes::kib(2.0).to_string(), "2.00KiB");
+  EXPECT_EQ(Bytes::mib(3.0).to_string(), "3.00MiB");
+}
+
+TEST(Bandwidth, UnitConversions) {
+  // 8 Mbit/s = 1 MB/s = 1e6 bytes/s.
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(8.0).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(Bandwidth::mbytes_per_sec(1.0).bps(), 1e6);
+  EXPECT_DOUBLE_EQ(Bandwidth::kbps(8.0).bps(), 1000.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::mbps(18.0).as_mbps(), 18.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::mbytes_per_sec(16.0).as_mbps(), 128.0);
+}
+
+TEST(Bandwidth, PaperTopologyEquivalences) {
+  // The paper's physical disk: 128 Mbit/s == 16 MB/s.
+  EXPECT_EQ(Bandwidth::mbps(128.0), Bandwidth::mbytes_per_sec(16.0));
+}
+
+TEST(Bandwidth, TransferTime) {
+  const Bandwidth bw = Bandwidth::bytes_per_sec(1000.0);
+  EXPECT_EQ(bw.time_to_transfer(Bytes::of(500)), SimTime::seconds(0.5));
+  EXPECT_EQ(Bandwidth::zero().time_to_transfer(Bytes::of(1)), SimTime::max());
+}
+
+TEST(Bandwidth, BytesOverInterval) {
+  EXPECT_DOUBLE_EQ(Bandwidth::bytes_per_sec(100.0).bytes_over(SimTime::seconds(2.5)), 250.0);
+}
+
+TEST(Bandwidth, Arithmetic) {
+  const Bandwidth a = Bandwidth::mbps(10.0);
+  const Bandwidth b = Bandwidth::mbps(4.0);
+  EXPECT_DOUBLE_EQ((a + b).as_mbps(), 14.0);
+  EXPECT_DOUBLE_EQ((a - b).as_mbps(), 6.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).as_mbps(), 20.0);
+  EXPECT_DOUBLE_EQ((2.0 * a).as_mbps(), 20.0);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+  EXPECT_TRUE(a.is_positive());
+  EXPECT_FALSE(Bandwidth::zero().is_positive());
+}
+
+TEST(BandwidthParse, AcceptsPaperSpellings) {
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("18Mbps").value().as_mbps(), 18.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("1.8Mbit/s").value().as_mbps(), 1.8);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("16MB/s").value().as_mbps(), 128.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("128mbps").value().as_mbps(), 128.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("2250KB/s").value().bps(), 2'250'000.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("512").value().bps(), 512.0);
+  EXPECT_DOUBLE_EQ(Bandwidth::parse("1Gbit/s").value().as_mbps(), 1000.0);
+}
+
+TEST(BandwidthParse, RejectsGarbage) {
+  EXPECT_FALSE(Bandwidth::parse("fast").is_ok());
+  EXPECT_FALSE(Bandwidth::parse("12 parsecs").is_ok());
+  EXPECT_FALSE(Bandwidth::parse("-3Mbps").is_ok());
+  EXPECT_FALSE(Bandwidth::parse("").is_ok());
+}
+
+TEST(BandwidthParse, ErrorsCarryTheInput) {
+  const auto r = Bandwidth::parse("bogus");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("bogus"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqos

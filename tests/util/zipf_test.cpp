@@ -1,0 +1,81 @@
+#include "util/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace sqos {
+namespace {
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfDistribution z{1000, 1.0};
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) sum += z.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Zipf, PmfIsMonotoneDecreasing) {
+  const ZipfDistribution z{100, 0.8};
+  for (std::size_t k = 1; k < z.size(); ++k) EXPECT_LE(z.pmf(k), z.pmf(k - 1));
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  const ZipfDistribution z{10, 0.0};
+  for (std::size_t k = 0; k < z.size(); ++k) EXPECT_NEAR(z.pmf(k), 0.1, 1e-12);
+}
+
+TEST(Zipf, TheoreticalHeadMass) {
+  // For s = 1, n = 1000: p(rank 1) = 1 / H_1000 ≈ 1 / 7.4855.
+  const ZipfDistribution z{1000, 1.0};
+  double h = 0.0;
+  for (int k = 1; k <= 1000; ++k) h += 1.0 / k;
+  EXPECT_NEAR(z.pmf(0), 1.0 / h, 1e-9);
+}
+
+TEST(Zipf, SingleElementAlwaysRankZero) {
+  const ZipfDistribution z{1, 1.2};
+  Rng rng{1};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+TEST(Zipf, SamplingMatchesPmf) {
+  const ZipfDistribution z{50, 1.0};
+  Rng rng{99};
+  std::vector<int> counts(50, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double expected = z.pmf(k) * n;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05 + 20);
+  }
+}
+
+TEST(Zipf, SamplesAlwaysInRange) {
+  const ZipfDistribution z{7, 2.0};
+  Rng rng{3};
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(z.sample(rng), 7u);
+}
+
+class ZipfExponentSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentSweep, HeadGetsHeavierWithExponent) {
+  const double s = GetParam();
+  const ZipfDistribution z{1000, s};
+  const ZipfDistribution z_flatter{1000, s / 2.0};
+  EXPECT_GE(z.pmf(0), z_flatter.pmf(0));
+  // Probability mass is valid for every exponent.
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) {
+    EXPECT_GE(z.pmf(k), 0.0);
+    sum += z.pmf(k);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace sqos

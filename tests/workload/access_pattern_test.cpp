@@ -1,0 +1,170 @@
+#include "workload/access_pattern.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "testing/test_cluster.hpp"
+#include "workload/video_catalog.hpp"
+
+namespace sqos::workload {
+namespace {
+
+PatternParams short_pattern(std::size_t users) {
+  PatternParams p;
+  p.users = users;
+  p.duration = SimTime::minutes(30.0);
+  p.mean_interarrival = SimTime::seconds(60.0);
+  return p;
+}
+
+TEST(AccessPattern, EventsSortedAndWithinWindow) {
+  const auto dir = sqos::testing::tiny_catalog(10);
+  Rng rng{1};
+  const auto events = generate_pattern(dir, short_pattern(16), rng);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].time, events[i - 1].time);
+  }
+  for (const auto& e : events) {
+    EXPECT_GE(e.time, SimTime::zero());
+    EXPECT_LT(e.time, SimTime::minutes(30.0));
+    EXPECT_LT(e.user, 16u);
+    EXPECT_TRUE(dir.contains(e.file));
+  }
+}
+
+TEST(AccessPattern, EventCountScalesWithUsers) {
+  const auto dir = sqos::testing::tiny_catalog(10);
+  Rng a{2};
+  Rng b{2};
+  const auto few = generate_pattern(dir, short_pattern(8), a);
+  const auto many = generate_pattern(dir, short_pattern(64), b);
+  // Expected per user: 30 min / 60 s = 30 events.
+  EXPECT_NEAR(static_cast<double>(few.size()), 8 * 30.0, 8 * 30.0 * 0.4);
+  EXPECT_NEAR(static_cast<double>(many.size()), 64 * 30.0, 64 * 30.0 * 0.25);
+}
+
+TEST(AccessPattern, InterarrivalMeanMatchesBeta) {
+  // Per-user gaps follow the negative exponential with the configured mean.
+  const auto dir = sqos::testing::tiny_catalog(4);
+  PatternParams p;
+  p.users = 1;
+  p.duration = SimTime::hours(200.0);
+  p.mean_interarrival = SimTime::seconds(300.0);
+  Rng rng{3};
+  const auto events = generate_pattern(dir, p, rng);
+  ASSERT_GT(events.size(), 1000u);
+  double sum = 0.0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    sum += (events[i].time - events[i - 1].time).as_seconds();
+  }
+  EXPECT_NEAR(sum / static_cast<double>(events.size() - 1), 300.0, 15.0);
+}
+
+TEST(AccessPattern, PopularFilesAccessedMore) {
+  // tiny_catalog popularity ~ 1/k: file 1 should be sampled about k times
+  // more often than file k.
+  const auto dir = sqos::testing::tiny_catalog(4);
+  Rng rng{5};
+  const auto events = generate_pattern(dir, short_pattern(512), rng);
+  std::map<dfs::FileId, int> counts;
+  for (const auto& e : events) ++counts[e.file];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[4]);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[4], 4.0, 1.2);
+}
+
+TEST(AccessPattern, DeterministicForSeed) {
+  const auto dir = sqos::testing::tiny_catalog(6);
+  Rng a{11};
+  Rng b{11};
+  EXPECT_EQ(generate_pattern(dir, short_pattern(4), a), generate_pattern(dir, short_pattern(4), b));
+}
+
+TEST(ShiftingPattern, SamePropertiesAsStationary) {
+  const auto dir = sqos::testing::tiny_catalog(10);
+  ShiftingPatternParams p;
+  p.base = short_pattern(32);
+  p.phases = 4;
+  Rng rng{21};
+  const auto events = generate_shifting_pattern(dir, p, rng);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) EXPECT_GE(events[i].time, events[i - 1].time);
+  for (const auto& e : events) {
+    EXPECT_LT(e.time, p.base.duration);
+    EXPECT_LT(e.user, 32u);
+    EXPECT_TRUE(dir.contains(e.file));
+  }
+}
+
+TEST(ShiftingPattern, HotSetActuallyMoves) {
+  // With many files and a steep head, the most-accessed file of phase 1
+  // should (almost surely) differ from phase 4's.
+  std::vector<dfs::FileMeta> metas;
+  for (std::size_t k = 1; k <= 50; ++k) {
+    dfs::FileMeta f;
+    f.id = k;
+    f.bitrate = Bandwidth::mbps(1.0);
+    f.size = Bytes::of(1000);
+    f.popularity = k == 1 ? 100.0 : 0.1;  // one dominant file
+    metas.push_back(f);
+  }
+  const dfs::FileDirectory dir{std::move(metas)};
+
+  ShiftingPatternParams p;
+  p.base.users = 64;
+  p.base.duration = SimTime::hours(1.0);
+  p.base.mean_interarrival = SimTime::seconds(30.0);
+  p.phases = 2;
+  Rng rng{5};
+  const auto events = generate_shifting_pattern(dir, p, rng);
+
+  std::map<dfs::FileId, int> first_half;
+  std::map<dfs::FileId, int> second_half;
+  for (const auto& e : events) {
+    (e.time < SimTime::minutes(30.0) ? first_half : second_half)[e.file]++;
+  }
+  const auto top = [](const std::map<dfs::FileId, int>& counts) {
+    dfs::FileId best = 0;
+    int best_count = -1;
+    for (const auto& [f, c] : counts) {
+      if (c > best_count) {
+        best = f;
+        best_count = c;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(top(first_half), top(second_half));
+}
+
+TEST(ShiftingPattern, OnePhaseMatchesStationaryStatistics) {
+  // phases == 1 keeps a single (permuted) ranking: event count statistics
+  // match the stationary generator with the same base parameters.
+  const auto dir = sqos::testing::tiny_catalog(8);
+  ShiftingPatternParams p;
+  p.base = short_pattern(64);
+  p.phases = 1;
+  Rng a{9};
+  Rng b{9};
+  const auto shifting = generate_shifting_pattern(dir, p, a);
+  const auto stationary = generate_pattern(dir, p.base, b);
+  EXPECT_NEAR(static_cast<double>(shifting.size()), static_cast<double>(stationary.size()),
+              static_cast<double>(stationary.size()) * 0.3);
+}
+
+TEST(PopularitySamplerTest, HonoursWeights) {
+  const auto dir = sqos::testing::tiny_catalog(2);  // popularity 1 and 0.5
+  const PopularitySampler sampler{dir};
+  Rng rng{13};
+  int c1 = 0;
+  const int n = 30'000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng) == 1) ++c1;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / n, 2.0 / 3.0, 0.02);
+}
+
+}  // namespace
+}  // namespace sqos::workload

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+#include "workload/placement.hpp"
+#include "workload/request_scheduler.hpp"
+
+namespace sqos::workload {
+namespace {
+
+TEST(Placement, PlacesExactReplicaCountOnDistinctRms) {
+  auto cluster = sqos::testing::make_small_cluster();
+  PlacementParams p;
+  p.replicas = 2;
+  Rng rng{1};
+  ASSERT_TRUE(place_static_replicas(*cluster, p, rng).is_ok());
+  for (const auto& f : cluster->directory().files()) {
+    EXPECT_EQ(cluster->mm().replica_count(f.id), 2u);
+    int on_disk = 0;
+    for (std::size_t r = 0; r < cluster->rm_count(); ++r) {
+      if (cluster->rm(r).has_replica(f.id)) ++on_disk;
+    }
+    EXPECT_EQ(on_disk, 2);
+  }
+}
+
+TEST(Placement, RejectsMoreReplicasThanRms) {
+  auto cluster = sqos::testing::make_small_cluster();
+  PlacementParams p;
+  p.replicas = 4;  // only 3 RMs
+  Rng rng{1};
+  EXPECT_FALSE(place_static_replicas(*cluster, p, rng).is_ok());
+}
+
+TEST(Placement, RejectsZeroReplicas) {
+  auto cluster = sqos::testing::make_small_cluster();
+  PlacementParams p;
+  p.replicas = 0;
+  Rng rng{1};
+  EXPECT_FALSE(place_static_replicas(*cluster, p, rng).is_ok());
+}
+
+TEST(Placement, FailsCleanlyWhenDisksCannotHoldCatalog) {
+  dfs::ClusterConfig cfg = sqos::testing::small_cluster_config();
+  for (auto& rm : cfg.rms) rm.disk_capacity = Bytes::mib(10.0);  // tiny disks
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  PlacementParams p;
+  p.replicas = 3;
+  Rng rng{1};
+  const Status s = place_static_replicas(*cluster, p, rng);
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Placement, RandomnessVariesWithSeed) {
+  auto c1 = sqos::testing::make_small_cluster();
+  auto c2 = sqos::testing::make_small_cluster();
+  PlacementParams p;
+  p.replicas = 1;
+  Rng r1{1};
+  Rng r2{2};
+  ASSERT_TRUE(place_static_replicas(*c1, p, r1).is_ok());
+  ASSERT_TRUE(place_static_replicas(*c2, p, r2).is_ok());
+  bool differs = false;
+  for (const auto& f : c1->directory().files()) {
+    for (std::size_t r = 0; r < c1->rm_count(); ++r) {
+      differs |= c1->rm(r).has_replica(f.id) != c2->rm(r).has_replica(f.id);
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RequestScheduler, ReplaysPatternAtRecordedTimes) {
+  auto cluster = sqos::testing::make_small_cluster();
+  cluster->start();
+  ASSERT_TRUE(cluster->place_replica(0, 1).is_ok());
+
+  std::vector<AccessEvent> pattern;
+  pattern.push_back(AccessEvent{SimTime::seconds(10.0), 0, 1});
+  pattern.push_back(AccessEvent{SimTime::seconds(20.0), 1, 1});
+  RequestScheduler sched{*cluster, pattern};
+  EXPECT_EQ(sched.request_count(), 2u);
+  sched.schedule(SimTime::seconds(1.0));
+
+  cluster->simulator().run_until(SimTime::seconds(5.0));
+  EXPECT_EQ(sched.dispatched(), 0u);
+  cluster->simulator().run_until(SimTime::seconds(12.0));
+  EXPECT_EQ(sched.dispatched(), 1u);
+  cluster->simulator().run();
+  EXPECT_EQ(sched.dispatched(), 2u);
+  EXPECT_EQ(sched.completed(), 2u);
+  EXPECT_EQ(sched.failed(), 0u);
+  EXPECT_TRUE(sched.drained());
+  EXPECT_DOUBLE_EQ(sched.fail_rate(), 0.0);
+}
+
+TEST(RequestScheduler, FailRateCountsFirmFailures) {
+  dfs::ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.mode = core::AllocationMode::kFirm;
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  ASSERT_TRUE(cluster->place_replica(1, 4).is_ok());  // 10 Mbit/s RM, 4 Mbit/s file
+
+  std::vector<AccessEvent> pattern;
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    pattern.push_back(AccessEvent{SimTime::seconds(1.0), u, 4});
+  }
+  RequestScheduler sched{*cluster, pattern};
+  sched.schedule(SimTime::seconds(1.0));
+  cluster->simulator().run();
+  EXPECT_TRUE(sched.drained());
+  EXPECT_EQ(sched.completed(), 2u);
+  EXPECT_EQ(sched.failed(), 2u);
+  EXPECT_DOUBLE_EQ(sched.fail_rate(), 0.5);
+}
+
+TEST(RequestScheduler, UsersSpreadRoundRobinOverClients) {
+  dfs::ClusterConfig cfg = sqos::testing::small_cluster_config();
+  cfg.client_count = 2;
+  auto cluster = sqos::testing::make_small_cluster(std::move(cfg));
+  cluster->start();
+  ASSERT_TRUE(cluster->place_replica(0, 1).is_ok());
+  std::vector<AccessEvent> pattern;
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    pattern.push_back(AccessEvent{SimTime::seconds(1.0 + u), u, 1});
+  }
+  RequestScheduler sched{*cluster, pattern};
+  sched.schedule();
+  cluster->simulator().run();
+  EXPECT_EQ(cluster->client(0).counters().opens_attempted, 2u);  // users 0, 2
+  EXPECT_EQ(cluster->client(1).counters().opens_attempted, 2u);  // users 1, 3
+}
+
+}  // namespace
+}  // namespace sqos::workload

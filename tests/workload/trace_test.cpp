@@ -1,0 +1,91 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace sqos::workload {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+std::vector<AccessEvent> sample_events() {
+  return {
+      AccessEvent{SimTime::micros(1'500'000), 3, 42},
+      AccessEvent{SimTime::micros(2'000'000), 0, 7},
+      AccessEvent{SimTime::micros(2'000'001), 255, 1000},
+  };
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  const std::string path = temp_path("sqos_trace_roundtrip.txt");
+  ASSERT_TRUE(save_trace(path, sample_events()).is_ok());
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), sample_events());
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, EmptyTraceRoundTrips) {
+  const std::string path = temp_path("sqos_trace_empty.txt");
+  ASSERT_TRUE(save_trace(path, {}).is_ok());
+  const auto loaded = load_trace(path);
+  ASSERT_TRUE(loaded.is_ok());
+  EXPECT_TRUE(loaded.value().empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, MissingFileFails) {
+  const auto r = load_trace("/nonexistent/trace.txt");
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Trace, RejectsWrongHeader) {
+  const std::string path = temp_path("sqos_trace_badheader.txt");
+  {
+    std::ofstream out{path};
+    out << "not a trace\n1 2 3\n";
+  }
+  const auto r = load_trace(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, RejectsMalformedLine) {
+  const std::string path = temp_path("sqos_trace_badline.txt");
+  {
+    std::ofstream out{path};
+    out << "# sqos-trace v1\n1000 2 3\nbroken line\n";
+  }
+  const auto r = load_trace(path);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_NE(r.status().message().find("line 3"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, SkipsCommentsAndBlankLines) {
+  const std::string path = temp_path("sqos_trace_comments.txt");
+  {
+    std::ofstream out{path};
+    out << "# sqos-trace v1\n\n# a comment\n5000 1 2\n";
+  }
+  const auto r = load_trace(path);
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].time, SimTime::micros(5000));
+  EXPECT_EQ(r.value()[0].user, 1u);
+  EXPECT_EQ(r.value()[0].file, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(Trace, BadDirectoryFailsOnSave) {
+  EXPECT_FALSE(save_trace("/nonexistent-dir-xyz/trace.txt", sample_events()).is_ok());
+}
+
+}  // namespace
+}  // namespace sqos::workload

@@ -1,0 +1,99 @@
+#include "workload/video_catalog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace sqos::workload {
+namespace {
+
+TEST(VideoCatalog, GeneratesRequestedCount) {
+  CatalogParams p;
+  p.file_count = 100;
+  Rng rng{1};
+  const dfs::FileDirectory dir = generate_catalog(p, rng);
+  EXPECT_EQ(dir.size(), 100u);
+  EXPECT_EQ(dir.files().front().id, 1u);
+  EXPECT_EQ(dir.files().back().id, 100u);
+  EXPECT_EQ(dir.files().front().name, "video-0001");
+}
+
+TEST(VideoCatalog, BitratesWithinClamp) {
+  CatalogParams p;
+  p.file_count = 500;
+  Rng rng{2};
+  const dfs::FileDirectory dir = generate_catalog(p, rng);
+  for (const auto& f : dir.files()) {
+    EXPECT_GE(f.bitrate.as_mbps(), p.bitrate_min_mbps);
+    EXPECT_LE(f.bitrate.as_mbps(), p.bitrate_max_mbps);
+  }
+}
+
+TEST(VideoCatalog, DurationsWithinRange) {
+  CatalogParams p;
+  p.file_count = 500;
+  Rng rng{3};
+  const dfs::FileDirectory dir = generate_catalog(p, rng);
+  for (const auto& f : dir.files()) {
+    const double d = f.duration().as_seconds();
+    EXPECT_GE(d, p.duration_min_s - 1.0);
+    EXPECT_LE(d, p.duration_max_s + 1.0);
+  }
+}
+
+TEST(VideoCatalog, PopularitySumsToOne) {
+  CatalogParams p;
+  p.file_count = 200;
+  Rng rng{4};
+  const dfs::FileDirectory dir = generate_catalog(p, rng);
+  double sum = 0.0;
+  for (const auto& f : dir.files()) sum += f.popularity;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(VideoCatalog, PopularityUncorrelatedWithId) {
+  // The Zipf head must not always be file 1: popularity ranks are permuted.
+  CatalogParams p;
+  p.file_count = 100;
+  Rng rng{5};
+  const dfs::FileDirectory dir = generate_catalog(p, rng);
+  const auto most_popular = std::max_element(
+      dir.files().begin(), dir.files().end(),
+      [](const auto& a, const auto& b) { return a.popularity < b.popularity; });
+  // With 100 files the chance the head lands on id 1 is 1 %; the fixed seed
+  // makes this deterministic.
+  EXPECT_NE(most_popular->id, 1u);
+}
+
+TEST(VideoCatalog, DeterministicForSeed) {
+  CatalogParams p;
+  p.file_count = 50;
+  Rng a{7};
+  Rng b{7};
+  const auto da = generate_catalog(p, a);
+  const auto db = generate_catalog(p, b);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(da.files()[i].size, db.files()[i].size);
+    EXPECT_EQ(da.files()[i].popularity, db.files()[i].popularity);
+  }
+  Rng c{8};
+  const auto dc = generate_catalog(p, c);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < 50; ++i) any_diff |= da.files()[i].size != dc.files()[i].size;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(VideoCatalog, SizeConsistentWithBitrateAndDuration) {
+  CatalogParams p;
+  p.file_count = 20;
+  Rng rng{9};
+  const auto dir = generate_catalog(p, rng);
+  for (const auto& f : dir.files()) {
+    EXPECT_NEAR(static_cast<double>(f.size.count()),
+                f.bitrate.bps() * f.duration().as_seconds(),
+                static_cast<double>(f.size.count()) * 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace sqos::workload
