@@ -1,0 +1,178 @@
+#include "check/fault_schedule.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "net/node_id.hpp"
+
+namespace sqos::check {
+namespace {
+
+/// Resolve a combined endpoint index ([RMs | clients | MM shards]) to its
+/// fabric node id.
+net::NodeId resolve_endpoint(const dfs::Cluster& c, std::size_t index) {
+  if (index < c.rm_count()) return c.rm(index).node_id();
+  index -= c.rm_count();
+  if (index < c.client_count()) return c.client(index).node_id();
+  index -= c.client_count();
+  return c.mm().shard(index % c.mm().shard_count()).node_id();
+}
+
+}  // namespace
+
+std::string FaultAction::to_string() const {
+  switch (kind) {
+    case Kind::kCrashRm:
+      return "t=" + at.to_string() + " crash RM" + std::to_string(rm);
+    case Kind::kRecoverRm:
+      return "t=" + at.to_string() + " recover RM" + std::to_string(rm);
+    case Kind::kLinkDown:
+      return "t=" + at.to_string() + " partition endpoints " + std::to_string(endpoint_a) +
+             " <-> " + std::to_string(endpoint_b);
+    case Kind::kLinkUp:
+      return "t=" + at.to_string() + " heal endpoints " + std::to_string(endpoint_a) + " <-> " +
+             std::to_string(endpoint_b);
+    case Kind::kThrottleDisk: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.2f", factor);
+      return "t=" + at.to_string() + " slow disk RM" + std::to_string(rm) + " x" + buf;
+    }
+    case Kind::kRestoreDisk:
+      return "t=" + at.to_string() + " restore disk RM" + std::to_string(rm);
+  }
+  return "?";
+}
+
+FaultSchedule& FaultSchedule::crash_window(std::size_t rm, SimTime from, SimTime until) {
+  FaultAction down;
+  down.kind = FaultAction::Kind::kCrashRm;
+  down.at = from;
+  down.rm = rm;
+  actions_.push_back(down);
+  FaultAction up;
+  up.kind = FaultAction::Kind::kRecoverRm;
+  up.at = until;
+  up.rm = rm;
+  actions_.push_back(up);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::partition_window(std::size_t a, std::size_t b, SimTime from,
+                                               SimTime until) {
+  FaultAction down;
+  down.kind = FaultAction::Kind::kLinkDown;
+  down.at = from;
+  down.endpoint_a = a;
+  down.endpoint_b = b;
+  actions_.push_back(down);
+  FaultAction up = down;
+  up.kind = FaultAction::Kind::kLinkUp;
+  up.at = until;
+  actions_.push_back(up);
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::slow_disk_window(std::size_t rm, double factor, SimTime from,
+                                               SimTime until) {
+  FaultAction slow;
+  slow.kind = FaultAction::Kind::kThrottleDisk;
+  slow.at = from;
+  slow.rm = rm;
+  slow.factor = factor;
+  actions_.push_back(slow);
+  FaultAction restore;
+  restore.kind = FaultAction::Kind::kRestoreDisk;
+  restore.at = until;
+  restore.rm = rm;
+  actions_.push_back(restore);
+  return *this;
+}
+
+FaultSchedule FaultSchedule::random(Rng& rng, std::size_t rm_count, std::size_t client_count,
+                                    std::size_t mm_shards, SimTime horizon) {
+  FaultSchedule plan;
+  const double span = horizon.as_seconds();
+  const std::size_t endpoints = rm_count + client_count + mm_shards;
+
+  // Window helper: [start, start + len) with the heal strictly before the
+  // horizon so the drained cluster is healthy at quiescence.
+  const auto window = [&](double max_len) {
+    const double len = rng.uniform(0.05 * span, max_len * span);
+    const double start = rng.uniform(0.0, span - len - 1.0);
+    return std::pair{SimTime::seconds(start), SimTime::seconds(start + len)};
+  };
+
+  const std::size_t crashes = static_cast<std::size_t>(rng.uniform_int(1, 2));
+  for (std::size_t i = 0; i < crashes; ++i) {
+    const auto [from, until] = window(0.30);
+    plan.crash_window(rng.next_below(rm_count), from, until);
+  }
+
+  const std::size_t partitions = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  for (std::size_t i = 0; i < partitions; ++i) {
+    const auto [from, until] = window(0.25);
+    const std::size_t a = rng.next_below(endpoints);
+    std::size_t b = rng.next_below(endpoints);
+    if (b == a) b = (b + 1) % endpoints;
+    plan.partition_window(a, b, from, until);
+  }
+
+  const std::size_t slow = static_cast<std::size_t>(rng.uniform_int(0, 2));
+  for (std::size_t i = 0; i < slow; ++i) {
+    const auto [from, until] = window(0.30);
+    plan.slow_disk_window(rng.next_below(rm_count), rng.uniform(0.25, 0.75), from, until);
+  }
+  return plan;
+}
+
+void FaultSchedule::install(dfs::Cluster& cluster) const {
+  sim::Simulator& sim = cluster.simulator();
+  for (const FaultAction& action : actions_) {
+    const FaultAction a = action;  // by value: outlives this schedule
+    sim.schedule_after(a.at, [&cluster, a] {
+      switch (a.kind) {
+        case FaultAction::Kind::kCrashRm:
+          if (cluster.rm(a.rm).is_online()) cluster.fail_rm(a.rm);
+          break;
+        case FaultAction::Kind::kRecoverRm:
+          if (!cluster.rm(a.rm).is_online()) cluster.recover_rm(a.rm);
+          break;
+        case FaultAction::Kind::kLinkDown:
+          cluster.network().set_link_down(resolve_endpoint(cluster, a.endpoint_a),
+                                          resolve_endpoint(cluster, a.endpoint_b));
+          break;
+        case FaultAction::Kind::kLinkUp:
+          cluster.network().set_link_up(resolve_endpoint(cluster, a.endpoint_a),
+                                        resolve_endpoint(cluster, a.endpoint_b));
+          break;
+        case FaultAction::Kind::kThrottleDisk:
+          cluster.rm(a.rm).throttle_disk(a.factor);
+          break;
+        case FaultAction::Kind::kRestoreDisk:
+          cluster.rm(a.rm).restore_disk();
+          break;
+      }
+    });
+  }
+}
+
+bool FaultSchedule::perturbs_caps() const {
+  return std::any_of(actions_.begin(), actions_.end(), [](const FaultAction& a) {
+    return a.kind == FaultAction::Kind::kThrottleDisk;
+  });
+}
+
+std::string FaultSchedule::to_string() const {
+  std::vector<FaultAction> sorted = actions_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultAction& a, const FaultAction& b) { return a.at < b.at; });
+  std::string out;
+  for (const FaultAction& a : sorted) {
+    out += "  ";
+    out += a.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqos::check

@@ -1,0 +1,22 @@
+#include "check/invariant.hpp"
+
+namespace sqos::check {
+
+std::string Violation::to_string() const {
+  std::string out = "[" + invariant + "] t=" + at.to_string();
+  if (!subject.empty()) out += " " + subject;
+  out += ": " + detail;
+  if (!paper_ref.empty()) out += " (" + paper_ref + ")";
+  return out;
+}
+
+std::string to_string(const std::vector<Violation>& violations) {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sqos::check

@@ -1,0 +1,32 @@
+// Violation reports for cluster-wide invariant auditing.
+//
+// The paper's QoS guarantees are conservation laws (firm admission never
+// over-allocates an RM, §VI.A.1; the MM's file -> replica map agrees with
+// what the RMs' disks actually hold, §III.A). The chaos harness checks them
+// as machine-readable predicates; a Violation names which law broke, when in
+// simulated time, and on which component — enough to turn any randomized run
+// into a precise bug report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/sim_time.hpp"
+
+namespace sqos::check {
+
+struct Violation {
+  std::string invariant;  // catalog name, e.g. "firm-cap"
+  std::string paper_ref;  // paper section the law comes from, e.g. "§VI.A.1"
+  SimTime at;             // simulated time of the audit that caught it
+  std::string subject;    // offending component: "RM2", "file 17", ...
+  std::string detail;     // the observed numbers
+
+  /// One-line rendering: "[firm-cap] t=372.250s RM2: allocated ... (§VI.A.1)".
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Render a batch, one violation per line.
+[[nodiscard]] std::string to_string(const std::vector<Violation>& violations);
+
+}  // namespace sqos::check

@@ -66,8 +66,11 @@ class Cluster {
   // --- accessors -------------------------------------------------------------
 
   [[nodiscard]] sim::Simulator& simulator() { return *sim_; }
+  [[nodiscard]] const sim::Simulator& simulator() const { return *sim_; }
   [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] const net::Network& network() const { return *net_; }
   [[nodiscard]] MetadataDirectory& mm() { return *mm_; }
+  [[nodiscard]] const MetadataDirectory& mm() const { return *mm_; }
   [[nodiscard]] ReplicationAgent& replication() { return *agent_; }
   [[nodiscard]] GarbageCollector& gc() { return *gc_; }
   [[nodiscard]] const FileDirectory& directory() const { return directory_; }
@@ -79,6 +82,7 @@ class Cluster {
 
   [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
   [[nodiscard]] DfsClient& client(std::size_t i) { return *clients_[i]; }
+  [[nodiscard]] const DfsClient& client(std::size_t i) const { return *clients_[i]; }
 
   [[nodiscard]] std::size_t machine_count() const { return devices_.size(); }
   [[nodiscard]] const storage::BlockDevice& machine(std::size_t i) const { return *devices_[i]; }

@@ -324,15 +324,12 @@ void DfsClient::release(std::uint64_t session) {
   }
   const SessionInfo info = it->second;
   sessions_.erase(it);
-  ResourceManager* rm = rm_by_node(info.rm);
-  assert(rm != nullptr);
-  ReleaseMsg msg;
-  msg.open_id = session;
-  msg.commit = !info.write;  // a plain release abandons a write session
-  net_.send(id_, info.rm, net::MessageKind::kRelease, ReleaseMsg::estimated_size(),
-            [this, rm, msg] {
-              if (rm->is_online()) rm->handle_release(id_, msg);
-            });
+  PendingRelease pending;
+  pending.info = info;
+  pending.msg.open_id = session;
+  pending.msg.commit = !info.write;  // a plain release abandons a write session
+  pending_releases_.emplace(session, pending);
+  send_release(session);
 }
 
 void DfsClient::release_write(std::uint64_t session, bool commit) {
@@ -344,28 +341,65 @@ void DfsClient::release_write(std::uint64_t session, bool commit) {
   }
   const SessionInfo info = it->second;
   sessions_.erase(it);
-  ResourceManager* rm = rm_by_node(info.rm);
-  assert(rm != nullptr);
+  PendingRelease pending;
+  pending.info = info;
+  pending.msg.open_id = session;
+  pending.msg.commit = commit;
+  pending_releases_.emplace(session, pending);
+  send_release(session);
+}
 
-  ReleaseMsg msg;
-  msg.open_id = session;
-  msg.commit = commit;
+void DfsClient::send_release(std::uint64_t session) {
+  const auto it = pending_releases_.find(session);
+  if (it == pending_releases_.end()) return;
+  PendingRelease& pending = it->second;
+  ResourceManager* rm = rm_by_node(pending.info.rm);
+  assert(rm != nullptr);
+  const SessionInfo info = pending.info;
+  const ReleaseMsg msg = pending.msg;
+
   net_.send(id_, info.rm, net::MessageKind::kRelease, ReleaseMsg::estimated_size(),
             [this, rm, info, msg] {
+              // A crashed RM freed the session in fail(); after recovery a
+              // retried release hits the unknown-session no-op and is acked.
               if (!rm->is_online()) return;
-              rm->handle_release(id_, msg);
-              if (!msg.commit) return;
-              ++counters_.replicas_written;
-              // Register the durable replica with the owning MM shard.
-              ReplicationDoneMsg commit_msg;
-              commit_msg.rm = info.rm;
-              commit_msg.file = info.file;
-              MetadataManager& shard = mm_.shard_for(info.file);
-              net_.send(info.rm, mm_.node_for(info.file), net::MessageKind::kReplicationDone,
-                        ReplicationDoneMsg::estimated_size(), [&shard, commit_msg] {
-                          shard.handle_replication_done(commit_msg);
-                        });
+              rm->handle_release(id_, msg);  // idempotent
+              if (info.write && msg.commit) {
+                // Register the durable replica with the owning MM shard. A
+                // lost ack replays this on retry; the MM replica set makes
+                // the commit idempotent.
+                ReplicationDoneMsg commit_msg;
+                commit_msg.rm = info.rm;
+                commit_msg.file = info.file;
+                MetadataManager& shard = mm_.shard_for(info.file);
+                net_.send(info.rm, mm_.node_for(info.file), net::MessageKind::kReplicationDone,
+                          ReplicationDoneMsg::estimated_size(), [&shard, commit_msg] {
+                            shard.handle_replication_done(commit_msg);
+                          });
+              }
+              net_.send(info.rm, id_, net::MessageKind::kReleaseAck, ReleaseMsg::estimated_size(),
+                        [this, open_id = msg.open_id] { on_release_ack(open_id); });
             });
+
+  // Releases lost to a partition must not leak the RM-side allocation, so
+  // resend with doubled backoff until acked. Bounded: against a permanently
+  // dead RM (whose fail() already freed the session) the retries stop.
+  constexpr std::size_t kMaxReleaseAttempts = 10;
+  if (++pending.attempt >= kMaxReleaseAttempts) {
+    pending_releases_.erase(it);
+    return;
+  }
+  const auto shift = std::min<std::size_t>(pending.attempt - 1, 8);
+  pending.retry = sim_.schedule_after(params_.bid_timeout * (std::int64_t{1} << shift),
+                                      [this, session] { send_release(session); });
+}
+
+void DfsClient::on_release_ack(std::uint64_t session) {
+  const auto it = pending_releases_.find(session);
+  if (it == pending_releases_.end()) return;  // duplicate ack from a retry
+  if (it->second.info.write && it->second.msg.commit) ++counters_.replicas_written;
+  sim_.cancel(it->second.retry);
+  pending_releases_.erase(it);
 }
 
 void DfsClient::query_holders(FileId file,

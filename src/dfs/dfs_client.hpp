@@ -70,6 +70,13 @@ class DfsClient {
   [[nodiscard]] const std::string& name() const { return params_.name; }
   [[nodiscard]] const Params& params() const { return params_; }
 
+  /// Runtime reconfiguration (chaos-harness mode flips): switch the
+  /// allocation scenario for every *future* negotiation. In-flight opens
+  /// carry the firm flag they were admitted under, so a flip never corrupts
+  /// an existing allocation — but once any client has run soft, the firm
+  /// no-over-allocation invariant no longer holds cluster-wide.
+  void set_allocation_mode(core::AllocationMode mode) { params_.mode = mode; }
+
   // --- high-level access (experiments) --------------------------------------
 
   /// Stream the whole file at its bitrate (open -> transfer -> complete).
@@ -199,9 +206,23 @@ class DfsClient {
     SimTime expires;
   };
 
+  /// A release awaiting its ack. Releases are retried with backoff until
+  /// acked — a release message lost to a partition must not leak the RM-side
+  /// session allocation forever (found by the chaos harness).
+  struct PendingRelease {
+    SessionInfo info;
+    ReleaseMsg msg;
+    std::size_t attempt = 0;
+    sim::EventId retry{};
+  };
+
+  void send_release(std::uint64_t session);
+  void on_release_ack(std::uint64_t session);
+
   std::unordered_map<std::uint64_t, OpenContext> opens_;
   std::unordered_map<std::uint64_t, WriteContext> writes_;
   std::unordered_map<std::uint64_t, SessionInfo> sessions_;  // open_id -> serving RM
+  std::unordered_map<std::uint64_t, PendingRelease> pending_releases_;
   std::unordered_map<FileId, CachedHolders> holder_cache_;
   std::uint64_t next_open_id_ = 1;
   Counters counters_;

@@ -25,7 +25,15 @@ ResourceManager::ResourceManager(net::NodeId id, Params params, storage::Throttl
       disk_{params_.disk_capacity},
       ledger_{group.cap(), simulator.now()},
       history_{params_.history},
-      trigger_{replication} {}
+      trigger_{replication},
+      nominal_cap_{group.cap()} {}
+
+void ResourceManager::throttle_disk(double factor) {
+  assert(factor > 0.0 && factor <= 1.0);
+  const Bandwidth cap = nominal_cap_ * factor;
+  group_.set_cap(cap);
+  ledger_.on_cap_change(sim_.now(), cap);
+}
 
 RegisterMsg ResourceManager::make_register_msg() const {
   RegisterMsg msg;
@@ -92,7 +100,7 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
   // same bid information. Writes additionally require disk space for the
   // incoming replica (reserved up front by an empty placeholder so racing
   // writes cannot over-commit the disk).
-  const bool no_bandwidth = msg.firm && remaining() < msg.rate;
+  const bool no_bandwidth = msg.firm && !test_skip_firm_admission_ && remaining() < msg.rate;
   const bool no_space =
       msg.write && (disk_.contains(msg.file) || disk_.free() < meta.size);
   if (no_bandwidth || no_space) {

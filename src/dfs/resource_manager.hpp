@@ -140,7 +140,37 @@ class ResourceManager {
   /// Wire the replication agent that this RM pokes after serving a request.
   void attach_replication_agent(ReplicationAgent* agent) { agent_ = agent; }
 
+  // --- audit accessors (check::InvariantAuditor) -------------------------------
+
+  /// Writes reserved on disk but not yet durable (torn-write rollback set).
+  [[nodiscard]] std::size_t pending_write_count() const { return pending_writes_.size(); }
+  [[nodiscard]] bool has_pending_write(FileId file) const { return pending_writes_.contains(file); }
+
+  /// Replication copies accepted but not yet landed.
+  [[nodiscard]] std::size_t pending_incoming_count() const { return pending_incoming_.size(); }
+  [[nodiscard]] bool has_pending_incoming(FileId file) const {
+    return pending_incoming_.contains(file);
+  }
+
+  /// Open explicit (VFS) sessions.
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+
   // --- failure injection -------------------------------------------------------
+
+  /// Slow-disk fault: re-dispatch the blkio cap to `factor` of the nominal
+  /// dispatched bandwidth (factor in (0, 1]). Allocations admitted under the
+  /// old cap persist — firm admission can legitimately sit above the degraded
+  /// cap, which the ledger records as over-allocation (R_OA > 0, §VI.A.1).
+  void throttle_disk(double factor);
+
+  /// Restore the nominal dispatched bandwidth after a slow-disk window.
+  void restore_disk() { throttle_disk(1.0); }
+
+  /// TEST ONLY — chaos-harness bug injection: skip the RM-side final firm
+  /// admission check in handle_data_request. Exists solely so the fuzzer's
+  /// acceptance tests can prove that a real over-allocation bug is caught by
+  /// the firm-cap invariant within a few seeds. Never set in production code.
+  void test_only_skip_firm_admission(bool skip) { test_skip_firm_admission_ = skip; }
 
   /// Crash the RM: all volatile state dies (active flows, explicit sessions,
   /// history, heat, replication-lane transfers and trigger state); the disk
@@ -204,6 +234,8 @@ class ResourceManager {
   std::unordered_map<FileId, SimTime> stored_at_;                // GC min-age input
   bool online_ = true;
   std::uint64_t epoch_ = 0;  // bumped on fail(); guards stale completions
+  Bandwidth nominal_cap_;    // dispatched cap before any slow-disk fault
+  bool test_skip_firm_admission_ = false;  // chaos-harness bug injection only
   ReplicationAgent* agent_ = nullptr;
   Counters counters_;
 };

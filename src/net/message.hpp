@@ -25,6 +25,7 @@ enum class MessageKind : std::uint8_t {
   kDataRequest,       // DFSC -> RM: start transfer with allocated bandwidth
   kDataComplete,      // RM -> DFSC: transfer finished
   kRelease,           // DFSC -> RM: free allocated bandwidth early
+  kReleaseAck,        // RM -> DFSC: release applied (client retries until acked)
   // Dynamic replication.
   kReplicaListQuery,  // source RM -> MM: RMs *without* a replica of F
   kReplicaListReply,  // MM -> source RM
@@ -53,6 +54,7 @@ inline constexpr std::size_t kMessageKindCount = static_cast<std::size_t>(Messag
     case MessageKind::kDataRequest: return "data-request";
     case MessageKind::kDataComplete: return "data-complete";
     case MessageKind::kRelease: return "release";
+    case MessageKind::kReleaseAck: return "release-ack";
     case MessageKind::kReplicaListQuery: return "replica-list-query";
     case MessageKind::kReplicaListReply: return "replica-list-reply";
     case MessageKind::kReplicationRequest: return "replication-request";

@@ -44,6 +44,15 @@ SimTime EventQueue::next_time() {
   return heap_.empty() ? SimTime::max() : heap_.front().time;
 }
 
+SimTime EventQueue::peek_next_time() const {
+  SimTime best = SimTime::max();
+  for (const Event& e : heap_) {
+    if (cancelled_.contains(to_underlying(e.id))) continue;
+    if (e.time < best) best = e.time;
+  }
+  return best;
+}
+
 bool EventQueue::empty() {
   drop_cancelled_top();
   return heap_.empty();

@@ -25,6 +25,11 @@ class EventQueue {
   /// Earliest pending (non-cancelled) time; SimTime::max() when empty.
   [[nodiscard]] SimTime next_time();
 
+  /// Const variant of next_time() for observers (invariant audits): a linear
+  /// scan that skips cancelled records without compacting the heap. O(n), but
+  /// audits run every Nth event on queues of modest depth.
+  [[nodiscard]] SimTime peek_next_time() const;
+
   [[nodiscard]] bool empty();
   [[nodiscard]] std::size_t size() const { return live_; }
 

@@ -34,6 +34,7 @@ bool Simulator::step() {
   now_ = e.time;
   ++executed_;
   e.fn();
+  if (post_event_) post_event_();
   return true;
 }
 

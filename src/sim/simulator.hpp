@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 #include "sim/event_queue.hpp"
 #include "util/sim_time.hpp"
@@ -48,8 +49,20 @@ class Simulator {
   /// Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
 
-  [[nodiscard]] std::size_t pending_events() { return queue_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+  /// Earliest pending event time without mutating the queue; SimTime::max()
+  /// when the queue is empty. Never earlier than now() — the audit hook
+  /// checks exactly that.
+  [[nodiscard]] SimTime next_event_time() const { return queue_.peek_next_time(); }
+
+  /// Observation hook run after every executed event (same simulated time as
+  /// the event, with its effects applied). One hook at a time; pass {} to
+  /// clear. Installed by the invariant auditor — the hook must not schedule
+  /// or cancel events, only observe.
+  using PostEventHook = std::function<void()>;
+  void set_post_event_hook(PostEventHook hook) { post_event_ = std::move(hook); }
 
  private:
   EventId next_id();
@@ -60,6 +73,7 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  PostEventHook post_event_;
 };
 
 }  // namespace sqos::sim

@@ -11,6 +11,7 @@ void BandwidthLedger::advance_to(SimTime t) {
     assigned_bytes_ += alloc_.bps() * dt;
     const double over = alloc_ > cap_ ? (alloc_ - cap_).bps() : 0.0;
     over_bytes_ += over * dt;
+    delivered_bytes_ += (alloc_.bps() - over) * dt;
     last_ = t;
   }
 }
@@ -18,6 +19,12 @@ void BandwidthLedger::advance_to(SimTime t) {
 void BandwidthLedger::on_allocation_change(SimTime t, Bandwidth allocated) {
   advance_to(t);
   alloc_ = allocated;
+  last_ = t;
+}
+
+void BandwidthLedger::on_cap_change(SimTime t, Bandwidth cap) {
+  advance_to(t);
+  cap_ = cap;
   last_ = t;
 }
 

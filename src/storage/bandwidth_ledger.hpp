@@ -19,6 +19,11 @@ class BandwidthLedger {
   /// Record that the RM's total allocation changed to `allocated` at `t`.
   void on_allocation_change(SimTime t, Bandwidth allocated);
 
+  /// Record that the RM's accessible bandwidth changed to `cap` at `t`
+  /// (slow-disk fault injection: the blkio cap shrinks under the running
+  /// allocation). Integrals up to `t` accrue against the previous cap.
+  void on_cap_change(SimTime t, Bandwidth cap);
+
   /// Bring the integrals forward to `t` without changing the allocation.
   void advance_to(SimTime t);
 
@@ -33,9 +38,11 @@ class BandwidthLedger {
     return assigned_bytes_ <= 0.0 ? 0.0 : over_bytes_ / assigned_bytes_;
   }
 
-  /// Bytes the device can actually deliver under the cap (integral of
-  /// min(alloc, cap)); assigned - delivered == overallocated.
-  [[nodiscard]] double delivered_bytes() const { return assigned_bytes_ - over_bytes_; }
+  /// Bytes the device can actually deliver under the cap — the integral of
+  /// min(alloc, cap), accrued independently of the other two so that the
+  /// conservation law `assigned == delivered + overallocated` is a genuine
+  /// cross-check of the accounting (audited by check::InvariantAuditor).
+  [[nodiscard]] double delivered_bytes() const { return delivered_bytes_; }
 
   [[nodiscard]] Bandwidth cap() const { return cap_; }
   [[nodiscard]] Bandwidth current_allocation() const { return alloc_; }
@@ -47,6 +54,7 @@ class BandwidthLedger {
   SimTime last_;
   double assigned_bytes_ = 0.0;
   double over_bytes_ = 0.0;
+  double delivered_bytes_ = 0.0;
 };
 
 }  // namespace sqos::storage

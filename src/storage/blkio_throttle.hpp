@@ -21,6 +21,12 @@ class ThrottleGroup {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Bandwidth cap() const { return cap_; }
 
+  /// Fault injection: re-dispatch the group's bps cap (a degraded device
+  /// slows every VM placed on it). Flows admitted under the old cap keep
+  /// their allocation — delivery degrades via pressure(), exactly like the
+  /// real cgroup writing a smaller value into blkio.throttle.*_bps_device.
+  void set_cap(Bandwidth cap) { cap_ = cap; }
+
   /// Total bandwidth currently allocated to flows in this group. May exceed
   /// the cap under soft real-time allocation.
   [[nodiscard]] Bandwidth allocated() const { return flows_.total_rate(); }

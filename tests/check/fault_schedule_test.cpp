@@ -1,0 +1,144 @@
+#include "check/fault_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+#include "util/rng.hpp"
+
+namespace sqos::check {
+namespace {
+
+using sqos::testing::make_small_cluster;
+
+TEST(FaultSchedule, BuildersEmitPairedDownUpActions) {
+  FaultSchedule plan;
+  plan.crash_window(1, SimTime::seconds(1.0), SimTime::seconds(3.0))
+      .partition_window(0, 4, SimTime::seconds(2.0), SimTime::seconds(4.0))
+      .slow_disk_window(2, 0.5, SimTime::seconds(1.5), SimTime::seconds(2.5));
+
+  ASSERT_EQ(plan.actions().size(), 6u);
+  EXPECT_EQ(plan.actions()[0].kind, FaultAction::Kind::kCrashRm);
+  EXPECT_EQ(plan.actions()[1].kind, FaultAction::Kind::kRecoverRm);
+  EXPECT_EQ(plan.actions()[1].rm, 1u);
+  EXPECT_EQ(plan.actions()[2].kind, FaultAction::Kind::kLinkDown);
+  EXPECT_EQ(plan.actions()[3].kind, FaultAction::Kind::kLinkUp);
+  EXPECT_EQ(plan.actions()[3].endpoint_a, 0u);
+  EXPECT_EQ(plan.actions()[3].endpoint_b, 4u);
+  EXPECT_EQ(plan.actions()[4].kind, FaultAction::Kind::kThrottleDisk);
+  EXPECT_DOUBLE_EQ(plan.actions()[4].factor, 0.5);
+  EXPECT_EQ(plan.actions()[5].kind, FaultAction::Kind::kRestoreDisk);
+  EXPECT_TRUE(plan.perturbs_caps());
+  EXPECT_FALSE(FaultSchedule{}.perturbs_caps());
+  EXPECT_TRUE(FaultSchedule{}.empty());
+}
+
+TEST(FaultSchedule, RandomPlansHealEveryWindowBeforeHorizon) {
+  const SimTime horizon = SimTime::seconds(60.0);
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng{seed};
+    const FaultSchedule plan = FaultSchedule::random(rng, 4, 2, 2, horizon);
+    ASSERT_FALSE(plan.empty()) << "seed " << seed;
+
+    // Every fault that degrades the cluster has a matching heal action on
+    // the same target, strictly before the horizon and after the fault.
+    for (const FaultAction& a : plan.actions()) {
+      ASSERT_LT(a.at, horizon) << "seed " << seed << ": " << a.to_string();
+      if (a.kind != FaultAction::Kind::kCrashRm && a.kind != FaultAction::Kind::kLinkDown &&
+          a.kind != FaultAction::Kind::kThrottleDisk) {
+        continue;
+      }
+      bool healed = false;
+      for (const FaultAction& h : plan.actions()) {
+        const bool matches =
+            (a.kind == FaultAction::Kind::kCrashRm && h.kind == FaultAction::Kind::kRecoverRm &&
+             h.rm == a.rm) ||
+            (a.kind == FaultAction::Kind::kLinkDown && h.kind == FaultAction::Kind::kLinkUp &&
+             h.endpoint_a == a.endpoint_a && h.endpoint_b == a.endpoint_b) ||
+            (a.kind == FaultAction::Kind::kThrottleDisk &&
+             h.kind == FaultAction::Kind::kRestoreDisk && h.rm == a.rm);
+        if (matches && h.at > a.at && h.at < horizon) healed = true;
+      }
+      EXPECT_TRUE(healed) << "seed " << seed << ": unhealed " << a.to_string();
+      if (a.kind == FaultAction::Kind::kThrottleDisk) {
+        EXPECT_GT(a.factor, 0.0);
+        EXPECT_LE(a.factor, 1.0);
+      }
+    }
+  }
+}
+
+TEST(FaultSchedule, SameRngStateYieldsSamePlan) {
+  Rng a{77};
+  Rng b{77};
+  const FaultSchedule pa = FaultSchedule::random(a, 4, 2, 2, SimTime::seconds(30.0));
+  const FaultSchedule pb = FaultSchedule::random(b, 4, 2, 2, SimTime::seconds(30.0));
+  EXPECT_EQ(pa.to_string(), pb.to_string());
+}
+
+TEST(FaultSchedule, InstallDrivesCrashAndRecovery) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+
+  FaultSchedule plan;
+  plan.crash_window(1, SimTime::seconds(1.0), SimTime::seconds(3.0));
+  plan.install(*cluster);
+
+  cluster->simulator().run_until(cluster->simulator().now() + SimTime::seconds(2.0));
+  EXPECT_FALSE(cluster->rm(1).is_online());
+  EXPECT_TRUE(cluster->rm(0).is_online());
+  cluster->simulator().run();
+  EXPECT_TRUE(cluster->rm(1).is_online());
+}
+
+TEST(FaultSchedule, InstallCutsAndHealsTheLink) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+  // Endpoint 3 is the first client in the combined [RMs | clients | MMs] space.
+  const net::NodeId rm0 = cluster->rm(0).node_id();
+  const net::NodeId client0 = cluster->client(0).node_id();
+
+  FaultSchedule plan;
+  plan.partition_window(0, 3, SimTime::seconds(1.0), SimTime::seconds(2.0));
+  plan.install(*cluster);
+
+  cluster->simulator().run_until(cluster->simulator().now() + SimTime::seconds(1.5));
+  EXPECT_FALSE(cluster->network().link_up(rm0, client0));
+  cluster->simulator().run();
+  EXPECT_TRUE(cluster->network().link_up(rm0, client0));
+}
+
+TEST(FaultSchedule, InstallThrottlesAndRestoresTheCap) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+  const Bandwidth full = cluster->rm(2).cap();
+
+  FaultSchedule plan;
+  plan.slow_disk_window(2, 0.5, SimTime::seconds(1.0), SimTime::seconds(2.0));
+  plan.install(*cluster);
+
+  cluster->simulator().run_until(cluster->simulator().now() + SimTime::seconds(1.5));
+  EXPECT_DOUBLE_EQ(cluster->rm(2).cap().bps(), full.bps() * 0.5);
+  cluster->simulator().run();
+  EXPECT_EQ(cluster->rm(2).cap(), full);
+}
+
+TEST(FaultSchedule, GuardsMakeDuplicateActionsSafe) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+
+  // Two overlapping crash windows for the same RM: the second crash and the
+  // first recovery fire while the state is already what they ask for.
+  FaultSchedule plan;
+  plan.crash_window(0, SimTime::seconds(1.0), SimTime::seconds(4.0));
+  plan.crash_window(0, SimTime::seconds(2.0), SimTime::seconds(6.0));
+  plan.install(*cluster);
+  cluster->simulator().run();
+  EXPECT_TRUE(cluster->rm(0).is_online());
+}
+
+}  // namespace
+}  // namespace sqos::check

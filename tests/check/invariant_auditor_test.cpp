@@ -1,0 +1,160 @@
+#include "check/invariant_auditor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dfs/ecnp_messages.hpp"
+#include "testing/test_cluster.hpp"
+
+namespace sqos::check {
+namespace {
+
+using sqos::testing::make_small_cluster;
+
+/// True when any violation in `vs` is of invariant `name`.
+bool has_invariant(const std::vector<Violation>& vs, const std::string& name) {
+  for (const Violation& v : vs) {
+    if (v.invariant == name) return true;
+  }
+  return false;
+}
+
+TEST(InvariantAuditor, CleanClusterPassesQuiescentAudit) {
+  auto cluster = make_small_cluster();
+  ASSERT_TRUE(cluster->place_replica(0, 1).is_ok());
+  ASSERT_TRUE(cluster->place_replica(1, 2).is_ok());
+  cluster->start();
+  cluster->simulator().run();
+  cluster->client(0).stream_file(1);
+  cluster->simulator().run();
+
+  InvariantAuditor auditor{*cluster};
+  const auto found = auditor.audit_quiescent();
+  EXPECT_TRUE(found.empty()) << to_string(found);
+  EXPECT_EQ(auditor.audits_run(), 1u);
+  EXPECT_EQ(auditor.violations_suppressed(), 0u);
+}
+
+TEST(InvariantAuditor, MmListingWithoutDiskReplicaIsCaught) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+  // Corrupt the directory: the MM believes RM1 holds file 2, the disk does not.
+  cluster->mm().bootstrap_replica(cluster->rm(0).node_id(), 2);
+
+  InvariantAuditor auditor{*cluster};
+  const auto found = auditor.audit_quiescent();
+  ASSERT_TRUE(has_invariant(found, "mm-disk-agreement")) << to_string(found);
+  // Continuous-only audits must not flag it: it is a quiescent law.
+  auditor.clear();
+  EXPECT_FALSE(has_invariant(auditor.audit_now(), "mm-disk-agreement"));
+}
+
+TEST(InvariantAuditor, DiskReplicaWithoutMmListingIsCaught) {
+  auto cluster = make_small_cluster();
+  cluster->start();
+  cluster->simulator().run();
+  ASSERT_TRUE(cluster->place_replica(1, 3).is_ok());
+  // Drop the MM listing while the replica stays on disk.
+  dfs::ReplicaDeleteMsg del;
+  del.rm = cluster->rm(1).node_id();
+  del.file = 3;
+  cluster->mm().shard_for(3).handle_replica_delete(del);
+
+  InvariantAuditor auditor{*cluster};
+  const auto found = auditor.audit_quiescent();
+  ASSERT_TRUE(has_invariant(found, "mm-disk-agreement")) << to_string(found);
+}
+
+TEST(InvariantAuditor, FirmCapViolationDetectedOnlyWhenArmed) {
+  auto cluster = make_small_cluster();
+  ASSERT_TRUE(cluster->place_replica(1, 1).is_ok());  // only RM2 holds file 1
+  cluster->start();
+  cluster->simulator().run();
+
+  // Hold a firm session on RM2 (1 Mbit/s against its 10 Mbit/s cap) ...
+  std::uint64_t session = 0;
+  cluster->client(0).open(1, [&session](Result<std::uint64_t> r) {
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    session = r.value();
+  });
+  cluster->simulator().run();
+  ASSERT_GT(cluster->rm(1).allocated().bps(), 0.0);
+
+  // ... then shrink the dispatched cap beneath the admitted allocation.
+  cluster->rm(1).throttle_disk(0.05);
+
+  InvariantAuditor::Options armed;
+  armed.expect_firm_cap = true;
+  InvariantAuditor strict{*cluster, armed};
+  EXPECT_TRUE(has_invariant(strict.audit_now(), "firm-cap"));
+
+  // Disarmed (the default), the same state is legitimate R_OA, not a bug.
+  InvariantAuditor relaxed{*cluster};
+  EXPECT_FALSE(has_invariant(relaxed.audit_now(), "firm-cap"));
+
+  cluster->rm(1).restore_disk();
+  cluster->client(0).release(session);
+  cluster->simulator().run();
+}
+
+TEST(InvariantAuditor, InstallAuditsEveryNthEvent) {
+  auto cluster = make_small_cluster();
+  sim::Simulator& sim = cluster->simulator();
+
+  InvariantAuditor auditor{*cluster};
+  auditor.install(3);
+  for (int i = 1; i <= 9; ++i) {
+    sim.schedule_after(SimTime::millis(i), [] {});
+  }
+  sim.run();
+  EXPECT_EQ(auditor.audits_run(), 3u);  // events 3, 6, 9
+
+  auditor.uninstall();
+  sim.schedule_after(SimTime::millis(1), [] {});
+  sim.run();
+  EXPECT_EQ(auditor.audits_run(), 3u);  // hook removed, no further audits
+}
+
+TEST(InvariantAuditor, CustomInvariantRunsInContinuousAudits) {
+  auto cluster = make_small_cluster();
+  InvariantAuditor auditor{*cluster};
+  auditor.register_invariant("my-law", "§IV", [](const dfs::Cluster&,
+                                                 const InvariantAuditor::ReportFn& report) {
+    report("RM2", "what was observed");
+  });
+  const auto found = auditor.audit_now();
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].invariant, "my-law");
+  EXPECT_EQ(found[0].paper_ref, "§IV");
+  EXPECT_EQ(found[0].subject, "RM2");
+  EXPECT_NE(found[0].to_string().find("[my-law]"), std::string::npos);
+  EXPECT_NE(found[0].to_string().find("§IV"), std::string::npos);
+}
+
+TEST(InvariantAuditor, RecordingCapsAtMaxViolations) {
+  auto cluster = make_small_cluster();
+  InvariantAuditor::Options opts;
+  opts.max_violations = 2;
+  InvariantAuditor auditor{*cluster, opts};
+  auditor.register_invariant("always-broken", "",
+                             [](const dfs::Cluster&, const InvariantAuditor::ReportFn& report) {
+                               report("a", "x");
+                               report("b", "x");
+                               report("c", "x");
+                             });
+  // audit_now still *returns* everything it found; only the retained record
+  // is capped, with the overflow counted.
+  EXPECT_EQ(auditor.audit_now().size(), 3u);
+  EXPECT_EQ(auditor.violations().size(), 2u);
+  EXPECT_EQ(auditor.violations_suppressed(), 1u);
+
+  auditor.clear();
+  EXPECT_TRUE(auditor.violations().empty());
+  EXPECT_EQ(auditor.violations_suppressed(), 0u);
+  EXPECT_EQ(auditor.audits_run(), 0u);
+}
+
+}  // namespace
+}  // namespace sqos::check

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
 #include "core/admission.hpp"
 
 namespace sqos::core {
@@ -111,6 +115,35 @@ TEST(Admission, FilterPreservesOrder) {
   EXPECT_EQ(idx, (std::vector<std::size_t>{0, 2}));
   const auto all = filter_admissible(AllocationMode::kSoft, bids, Bandwidth::bytes_per_sec(2.0));
   EXPECT_EQ(all.size(), 4u);
+}
+
+TEST(SelectionPolicy, BidFormulaPropertyHolds10kSamples) {
+  // Property test of Bid = α·B_rem + β·trend − γ·(bias·B_req) over 10k
+  // seeded samples with random environment weights α ≥ β ≥ γ (§IV): the
+  // score is finite, monotone non-decreasing in B_rem and monotone
+  // non-increasing in B_req.
+  Rng rng{20120910};  // ICPP'12 vintage
+  for (int sample = 0; sample < 10'000; ++sample) {
+    // Draw α ≥ β ≥ γ ≥ 0 by sorting three uniforms.
+    double w[3] = {rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    std::sort(w, w + 3, std::greater<>{});
+    const SelectionPolicy policy{PolicyWeights{w[0], w[1], w[2]}};
+
+    BidInfo base = bid(rng.uniform(0.0, 1e9), rng.uniform(-1e8, 1e8), rng.uniform(0.0, 2.0),
+                       rng.uniform(0.0, 1e9));
+    const double score = policy.score(base);
+    ASSERT_TRUE(std::isfinite(score)) << "sample " << sample;
+
+    BidInfo more_rem = base;
+    more_rem.b_rem_bps += rng.uniform(0.0, 1e9);
+    ASSERT_GE(policy.score(more_rem), score) << "sample " << sample
+                                             << ": score decreased with extra B_rem";
+
+    BidInfo more_req = base;
+    more_req.b_req_bps += rng.uniform(0.0, 1e9);
+    ASSERT_LE(policy.score(more_req), score) << "sample " << sample
+                                             << ": score increased with extra B_req";
+  }
 }
 
 class PolicySweep : public ::testing::TestWithParam<PolicyWeights> {};

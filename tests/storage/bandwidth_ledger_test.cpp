@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
 namespace sqos::storage {
 namespace {
 
@@ -57,6 +62,64 @@ TEST(BandwidthLedger, AllocationAtExactCapIsNotOver) {
   l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(100.0));
   l.advance_to(SimTime::seconds(5.0));
   EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 0.0);
+}
+
+TEST(BandwidthLedger, CapShrinkStrandsAllocationAboveCap) {
+  // A slow-disk fault shrinks the cap under a running allocation: bytes
+  // accrued before the change integrate against the old cap, bytes after
+  // against the new one (Fig. 4 with a moving cap line).
+  BandwidthLedger l{Bandwidth::bytes_per_sec(1000.0), SimTime::zero()};
+  l.on_allocation_change(SimTime::zero(), Bandwidth::bytes_per_sec(800.0));
+  l.on_cap_change(SimTime::seconds(2.0), Bandwidth::bytes_per_sec(500.0));
+  l.advance_to(SimTime::seconds(5.0));
+  EXPECT_DOUBLE_EQ(l.assigned_bytes(), 800.0 * 5);
+  EXPECT_DOUBLE_EQ(l.overallocated_bytes(), 300.0 * 3);  // over only after the shrink
+  EXPECT_DOUBLE_EQ(l.delivered_bytes(), 800.0 * 2 + 500.0 * 3);
+  EXPECT_EQ(l.cap(), Bandwidth::bytes_per_sec(500.0));
+}
+
+TEST(BandwidthLedger, ConservationHoldsOverRandomSequences) {
+  // Property test of the §VI.A.1 accounting over 200 random seeded
+  // allocation/cap/advance sequences: `assigned == delivered +
+  // overallocated` within 1e-9 relative, all three integrals monotone
+  // non-decreasing, and R_OA ∈ [0, 1]. This is the same law the chaos
+  // harness audits live (check::InvariantAuditor, `ledger-conservation`).
+  Rng rng{0xF16'4};  // Fig. 4
+  for (int run = 0; run < 200; ++run) {
+    BandwidthLedger l{Bandwidth::bytes_per_sec(rng.uniform(100.0, 5000.0)), SimTime::zero()};
+    SimTime now = SimTime::zero();
+    double prev_assigned = 0.0;
+    double prev_delivered = 0.0;
+    double prev_over = 0.0;
+    for (int step = 0; step < 100; ++step) {
+      now = now + SimTime::micros(static_cast<std::int64_t>(rng.exponential(250'000.0)));
+      switch (rng.next_below(4)) {
+        case 0:
+          l.on_allocation_change(now, Bandwidth::bytes_per_sec(rng.uniform(0.0, 8000.0)));
+          break;
+        case 1:
+          l.on_cap_change(now, Bandwidth::bytes_per_sec(rng.uniform(50.0, 5000.0)));
+          break;
+        default:
+          l.advance_to(now);
+          break;
+      }
+      const double assigned = l.assigned_bytes();
+      const double delivered = l.delivered_bytes();
+      const double over = l.overallocated_bytes();
+      const double tolerance = 1e-9 * std::max(1.0, assigned);
+      ASSERT_NEAR(assigned, delivered + over, tolerance)
+          << "run " << run << " step " << step << ": conservation broken";
+      ASSERT_GE(assigned, prev_assigned) << "run " << run << " step " << step;
+      ASSERT_GE(delivered, prev_delivered) << "run " << run << " step " << step;
+      ASSERT_GE(over, prev_over) << "run " << run << " step " << step;
+      ASSERT_GE(l.overallocate_ratio(), 0.0) << "run " << run << " step " << step;
+      ASSERT_LE(l.overallocate_ratio(), 1.0 + 1e-12) << "run " << run << " step " << step;
+      prev_assigned = assigned;
+      prev_delivered = delivered;
+      prev_over = over;
+    }
+  }
 }
 
 TEST(BandwidthLedger, StateAccessors) {

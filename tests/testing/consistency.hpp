@@ -1,58 +1,27 @@
 // Whole-system consistency checks used by integration and soak tests.
+//
+// The checks themselves live in check::InvariantAuditor (src/check), which
+// is also what the chaos fuzzer runs continuously; this header is the thin
+// GTest bridge so every suite asserts the exact same catalog.
 #pragma once
 
 #include <gtest/gtest.h>
 
-#include <unordered_set>
-
+#include "check/invariant_auditor.hpp"
 #include "dfs/cluster.hpp"
 
 namespace sqos::testing {
 
-/// At quiescence (no in-flight protocol work, all RMs online) the metadata
-/// layer and the storage layer must agree exactly:
-///   - every replica the MM lists exists on that RM's disk;
-///   - every replica on any online RM's disk is listed by the MM;
-///   - no RM keeps replication-lane traffic, pending destination state or
-///     stream allocations.
+/// At quiescence (no in-flight protocol work) the full invariant catalog
+/// must hold: the continuous laws (flow/allocation agreement, ledger
+/// conservation, non-negative resources, time monotonicity) plus the
+/// quiescent laws (MM directory <-> RM disk agreement, no residual
+/// allocations/sessions/replication roles). One GTest failure per
+/// violation, rendered by the auditor's structured report.
 inline void expect_quiescent_consistency(dfs::Cluster& cluster) {
-  // MM -> disk direction.
-  for (const dfs::FileId file : cluster.mm().known_files()) {
-    for (const net::NodeId holder : cluster.mm().holders_of(file)) {
-      bool found = false;
-      for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
-        if (cluster.rm(i).node_id() == holder) {
-          EXPECT_TRUE(cluster.rm(i).has_replica(file))
-              << "MM lists file " << file << " on " << cluster.rm(i).name()
-              << " but the disk lacks it";
-          found = true;
-        }
-      }
-      EXPECT_TRUE(found) << "MM lists unknown holder for file " << file;
-    }
-  }
-  // Disk -> MM direction (only online RMs; a crashed RM's disk is
-  // re-registered at recovery).
-  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
-    const dfs::ResourceManager& rm = cluster.rm(i);
-    if (!rm.is_online()) continue;
-    for (const std::uint64_t file : rm.disk().file_keys()) {
-      const auto holders = cluster.mm().holders_of(file);
-      const bool listed =
-          std::find(holders.begin(), holders.end(), rm.node_id()) != holders.end();
-      EXPECT_TRUE(listed) << rm.name() << " holds file " << file
-                          << " that the MM does not list";
-    }
-  }
-  // No residual volatile state.
-  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
-    const dfs::ResourceManager& rm = cluster.rm(i);
-    EXPECT_EQ(rm.allocated(), Bandwidth::zero()) << rm.name() << " keeps stream allocation";
-    EXPECT_EQ(rm.replication_lane_rate(), Bandwidth::zero())
-        << rm.name() << " keeps replication-lane traffic";
-    EXPECT_FALSE(rm.trigger().is_source()) << rm.name() << " stuck as replication source";
-    EXPECT_FALSE(rm.trigger().is_destination())
-        << rm.name() << " stuck as replication destination";
+  check::InvariantAuditor auditor{cluster};
+  for (const check::Violation& v : auditor.audit_quiescent()) {
+    ADD_FAILURE() << v.to_string();
   }
 }
 

@@ -1,0 +1,107 @@
+// sqos_fuzz — seeded chaos fuzzing of the DFS cluster from the command line.
+//
+// Generates a random operation schedule (streams, sessions, writes, replica
+// placement/deletion, mode flips), optionally composes a random fault
+// schedule (RM crashes, partitions, slow disks), executes it against a fresh
+// cluster with the InvariantAuditor installed, and exits non-zero when any
+// cluster-wide invariant broke. Every run is a pure function of --seed: a
+// failure prints the exact flags that reproduce it plus a minimized
+// schedule.
+//
+//   sqos_fuzz --seed=7 --ops=50000 --audit-every=1
+//   sqos_fuzz --seeds=10 --faults          # 10 consecutive seeds with chaos
+//   sqos_fuzz --seed=7 --inject-overallocation-bug   # harness self-test
+//
+// Flags (defaults in brackets):
+//   --seed=N          [1]    base seed
+//   --seeds=N         [1]    number of consecutive seeds to run
+//   --ops=N           [400]  operations per run
+//   --audit-every=N   [1]    audit after every Nth simulator event
+//   --rms=N --clients=N --shards=N --files=N   cluster topology
+//   --faults                 compose a random fault schedule
+//   --soft                   soft real-time base mode
+//   --no-minimize            skip schedule minimization on failure
+//   --inject-overallocation-bug   RMs skip firm admission (must be caught)
+//   --print-schedule         dump the generated op schedule before running
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "check/op_fuzzer.hpp"
+
+namespace {
+
+bool parse_u64(const char* arg, const char* flag, std::uint64_t& out) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return false;
+  out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sqos;
+
+  check::FuzzOptions options;
+  std::uint64_t seeds = 1;
+  bool print_schedule = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::uint64_t v = 0;
+    if (parse_u64(arg, "--seed", options.seed)) continue;
+    if (parse_u64(arg, "--seeds", seeds)) continue;
+    if (parse_u64(arg, "--ops", v)) { options.op_count = static_cast<std::size_t>(v); continue; }
+    if (parse_u64(arg, "--audit-every", options.audit_every)) continue;
+    if (parse_u64(arg, "--rms", v)) { options.rm_count = static_cast<std::size_t>(v); continue; }
+    if (parse_u64(arg, "--clients", v)) {
+      options.client_count = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (parse_u64(arg, "--shards", v)) {
+      options.mm_shards = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (parse_u64(arg, "--files", v)) {
+      options.file_count = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (std::strcmp(arg, "--faults") == 0) { options.with_faults = true; continue; }
+    if (std::strcmp(arg, "--soft") == 0) {
+      options.mode = core::AllocationMode::kSoft;
+      continue;
+    }
+    if (std::strcmp(arg, "--no-minimize") == 0) { options.minimize = false; continue; }
+    if (std::strcmp(arg, "--inject-overallocation-bug") == 0) {
+      options.inject_overallocation_bug = true;
+      continue;
+    }
+    if (std::strcmp(arg, "--print-schedule") == 0) { print_schedule = true; continue; }
+    std::fprintf(stderr, "unknown flag %s (see header comment)\n", arg);
+    return 2;
+  }
+
+  int failures = 0;
+  for (std::uint64_t s = 0; s < seeds; ++s) {
+    check::FuzzOptions run_options = options;
+    run_options.seed = options.seed + s;
+    check::OpFuzzer fuzzer{run_options};
+    if (print_schedule) {
+      std::fprintf(stdout, "schedule for seed %llu:\n%s",
+                   static_cast<unsigned long long>(run_options.seed),
+                   check::OpFuzzer::schedule_to_string(fuzzer.generate()).c_str());
+    }
+    const check::FuzzResult result = fuzzer.run();
+    std::fprintf(result.ok() ? stdout : stderr, "%s", result.report().c_str());
+    if (!result.ok()) ++failures;
+  }
+
+  if (options.inject_overallocation_bug && failures == 0) {
+    // The self-test *requires* the auditor to catch the planted bug.
+    std::fprintf(stderr, "injected over-allocation bug was NOT caught by any seed\n");
+    return 1;
+  }
+  return options.inject_overallocation_bug ? 0 : (failures == 0 ? 0 : 1);
+}
