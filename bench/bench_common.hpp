@@ -4,15 +4,19 @@
 //   seeds=N     runs per configuration, averaged (default 3)
 //   users=N     override the user count where applicable
 //   csv=path    mirror the table/series to a CSV file
+//   json=path   emit an sqos-bench-v1 document (one exact metric per table
+//               cell plus per-cell wall time) for tools/perf_gate
 //   quick=1     single seed, reduced sweep (smoke-test mode)
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "util/bench_json.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
@@ -27,6 +31,31 @@ struct BenchArgs {
   std::uint64_t base_seed = 1;
 };
 
+/// Process-wide JSON sink: every run() appends its cell's metrics here, and
+/// an atexit hook writes the document once the sweep finishes. Keeping the
+/// sink out of BenchArgs means no table binary needs json-specific code.
+struct JsonSink {
+  std::string path;
+  BenchReport report{""};
+  std::size_t cells = 0;
+};
+
+inline JsonSink& json_sink() {
+  static JsonSink sink;
+  return sink;
+}
+
+inline void flush_json_sink() {
+  JsonSink& sink = json_sink();
+  if (sink.path.empty()) return;
+  const Status s = sink.report.write_file(sink.path);
+  if (!s.is_ok()) {
+    std::fprintf(stderr, "%s\n", s.to_string().c_str());
+    return;
+  }
+  std::printf("wrote %s (%zu cells)\n", sink.path.c_str(), sink.cells);
+}
+
 inline BenchArgs parse_args(int argc, char** argv) {
   auto parsed = Config::from_args(argc, argv);
   if (!parsed.is_ok()) {
@@ -39,6 +68,21 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.seeds = static_cast<std::size_t>(args.cfg.get_int("seeds", args.quick ? 1 : 3));
   args.csv_path = args.cfg.get_string("csv", "");
   args.base_seed = static_cast<std::uint64_t>(args.cfg.get_int("seed", 1));
+
+  const std::string json_path = args.cfg.get_string("json", "");
+  if (!json_path.empty()) {
+    std::string binary = argc > 0 ? argv[0] : "bench";
+    if (const auto slash = binary.find_last_of('/'); slash != std::string::npos) {
+      binary.erase(0, slash + 1);
+    }
+    JsonSink& sink = json_sink();
+    sink.path = json_path;
+    sink.report = BenchReport{std::move(binary)};
+    sink.report.set_meta("seeds", std::to_string(args.seeds));
+    sink.report.set_meta("seed", std::to_string(args.base_seed));
+    sink.report.set_meta("mode", args.quick ? "quick" : "full");
+    std::atexit(flush_json_sink);
+  }
   return args;
 }
 
@@ -59,7 +103,31 @@ inline std::vector<core::ReplicationConfig> strategy_sweep() {
 
 inline exp::ExperimentResult run(const BenchArgs& args, exp::ExperimentParams params) {
   params.seed = args.base_seed;
-  return exp::run_averaged(params, args.seeds);
+  const auto t0 = std::chrono::steady_clock::now();
+  exp::ExperimentResult result = exp::run_averaged(params, args.seeds);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  JsonSink& sink = json_sink();
+  if (!sink.path.empty()) {
+    // Simulation outputs are goal=exact: the run is deterministic for a
+    // fixed seed set, so any drift is a determinism regression, not noise.
+    const std::string cell = "cell" + std::to_string(sink.cells++) + ".";
+    auto& r = sink.report;
+    r.add(cell + "users", static_cast<double>(params.users), "", MetricGoal::kInfo);
+    r.add(cell + "requests", static_cast<double>(result.requests), "", MetricGoal::kExact);
+    r.add(cell + "completed", static_cast<double>(result.completed), "", MetricGoal::kExact);
+    r.add(cell + "failed", static_cast<double>(result.failed), "", MetricGoal::kExact);
+    r.add(cell + "fail_rate", result.fail_rate, "", MetricGoal::kExact);
+    r.add(cell + "overallocate_ratio", result.overallocate_ratio, "", MetricGoal::kExact);
+    r.add(cell + "control_messages", static_cast<double>(result.control_messages), "",
+          MetricGoal::kExact);
+    r.add(cell + "control_bytes", static_cast<double>(result.control_bytes), "bytes",
+          MetricGoal::kExact);
+    const double wall_ms =
+        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0).count();
+    r.add(cell + "wall_ms", wall_ms, "ms", MetricGoal::kInfo);
+  }
+  return result;
 }
 
 inline CsvWriter open_csv(const BenchArgs& args, const std::vector<std::string>& header) {

@@ -51,7 +51,7 @@ void InvariantAuditor::check_flow_allocation_agreement(std::vector<Violation>& o
   for (std::size_t i = 0; i < c.rm_count(); ++i) {
     const dfs::ResourceManager& rm = c.rm(i);
     double flow_sum = 0.0;
-    for (const storage::Flow& f : rm.throttle_group().flows().snapshot()) {
+    for (const storage::Flow& f : rm.throttle_group().flows().active()) {
       flow_sum += f.rate.bps();
     }
     const double alloc = rm.allocated().bps();

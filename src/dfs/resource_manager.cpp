@@ -289,9 +289,9 @@ void ResourceManager::fail() {
     if (disk_.contains(f)) (void)disk_.remove(f);
   }
   pending_writes_.clear();
-  for (const storage::Flow& f : group_.flows().snapshot()) group_.remove_flow(f.id);
+  group_.drain_flows();
   sync_ledger();
-  for (const storage::Flow& f : replication_lane_.snapshot()) replication_lane_.remove(f.id);
+  replication_lane_.drain();
   sessions_.clear();
   pending_incoming_.clear();
   last_access_.clear();
@@ -313,7 +313,7 @@ SimTime ResourceManager::stored_at_of(FileId file) const {
 }
 
 bool ResourceManager::has_active_flow_for(FileId file) const {
-  for (const storage::Flow& f : group_.flows().snapshot()) {
+  for (const storage::Flow& f : group_.flows().active()) {
     if (f.file == file) return true;
   }
   return false;

@@ -1,25 +1,28 @@
 #include "net/network.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace sqos::net {
 
+namespace {
+// Typical cluster sizes fit comfortably; pre-sizing keeps registration from
+// re-copying the (large) per-node stat blocks as the topology grows.
+constexpr std::size_t kExpectedNodes = 64;
+}  // namespace
+
 NodeId Network::register_node(std::string name) {
+  if (names_.empty()) {
+    names_.reserve(kExpectedNodes);
+    sent_.reserve(kExpectedNodes);
+    received_.reserve(kExpectedNodes);
+  }
   const NodeId id{static_cast<std::uint32_t>(names_.size())};
   names_.push_back(std::move(name));
   sent_.emplace_back();
   received_.emplace_back();
   return id;
-}
-
-void Network::account(TrafficStats& s, MessageKind kind, Bytes size) {
-  const auto k = static_cast<std::size_t>(kind);
-  assert(k < kMessageKindCount);
-  ++s.count_by_kind[k];
-  s.bytes_by_kind[k] += static_cast<std::uint64_t>(size.count());
-  ++s.total_messages;
-  s.total_bytes += static_cast<std::uint64_t>(size.count());
 }
 
 std::uint64_t Network::link_key(NodeId a, NodeId b) {
@@ -33,20 +36,6 @@ void Network::set_link_down(NodeId a, NodeId b) { down_links_.insert(link_key(a,
 void Network::set_link_up(NodeId a, NodeId b) { down_links_.erase(link_key(a, b)); }
 
 bool Network::link_up(NodeId a, NodeId b) const { return !down_links_.contains(link_key(a, b)); }
-
-void Network::send(NodeId from, NodeId to, MessageKind kind, Bytes size, sim::EventFn on_deliver) {
-  assert(from.value() < names_.size());
-  assert(to.value() < names_.size());
-  account(stats_, kind, size);
-  account(sent_[from.value()], kind, size);
-  if (!link_up(from, to)) {
-    ++stats_.dropped_messages;
-    return;  // lost on the partition; the sender learns via its timeout
-  }
-  account(received_[to.value()], kind, size);
-  const SimTime latency = latency_.sample(size);
-  sim_.schedule_after(latency, std::move(on_deliver));
-}
 
 const TrafficStats& Network::node_sent(NodeId id) const {
   assert(id.value() < sent_.size());

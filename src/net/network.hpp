@@ -4,11 +4,17 @@
 // after a sampled latency, carrying their typed payload in the delivery
 // closure. The network keeps complete per-kind and per-node traffic
 // statistics — the measurement substrate for the ECNP-vs-CNP ablation.
+//
+// send() is on the hot path of every negotiation round: the delivery closure
+// is move-only (it rides the kernel's InlineFn small-buffer storage, so a
+// typical payload capture costs no allocation), per-node stats live in flat
+// vectors indexed by NodeId, and the partition check short-circuits when no
+// link is down (the overwhelmingly common case).
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -51,7 +57,19 @@ class Network {
   /// sampled latency; it typically captures the typed payload and calls the
   /// receiving component's handler. Messages on a partitioned link are
   /// silently dropped (still accounted as sent — the sender did the work).
-  void send(NodeId from, NodeId to, MessageKind kind, Bytes size, sim::EventFn on_deliver);
+  void send(NodeId from, NodeId to, MessageKind kind, Bytes size, sim::EventFn on_deliver) {
+    assert(from.value() < names_.size());
+    assert(to.value() < names_.size());
+    account(stats_, kind, size);
+    account(sent_[from.value()], kind, size);
+    if (!down_links_.empty() && !link_up(from, to)) {
+      ++stats_.dropped_messages;
+      return;  // lost on the partition; the sender learns via its timeout
+    }
+    account(received_[to.value()], kind, size);
+    const SimTime latency = latency_.sample(size);
+    sim_.schedule_after(latency, std::move(on_deliver));
+  }
 
   /// Fault injection: cut or restore the (bidirectional) link between two
   /// endpoints. Messages crossing a cut link are lost without notification —
@@ -73,7 +91,14 @@ class Network {
   void reset_stats();
 
  private:
-  void account(TrafficStats& s, MessageKind kind, Bytes size);
+  static void account(TrafficStats& s, MessageKind kind, Bytes size) {
+    const auto k = static_cast<std::size_t>(kind);
+    assert(k < kMessageKindCount);
+    ++s.count_by_kind[k];
+    s.bytes_by_kind[k] += static_cast<std::uint64_t>(size.count());
+    ++s.total_messages;
+    s.total_bytes += static_cast<std::uint64_t>(size.count());
+  }
 
   [[nodiscard]] static std::uint64_t link_key(NodeId a, NodeId b);
 

@@ -1,61 +1,85 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <functional>
 
 namespace sqos::sim {
 
-void EventQueue::push(Event event) {
-  pending_.insert(to_underlying(event.id));
-  heap_.push_back(std::move(event));
+EventId EventQueue::push(SimTime t, EventFn fn) {
+  std::uint32_t index = 0;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.fn = std::move(fn);
+  slot.live = true;
+
+  HeapEntry entry;
+  entry.time = t;
+  entry.seq = next_seq_++;
+  entry.slot = index;
+  entry.gen = slot.gen;
+  heap_.push_back(entry);
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   ++live_;
+  return encode(index, slot.gen);
 }
 
-void EventQueue::drop_cancelled_top() {
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.fn.reset();
+  slot.live = false;
+  ++slot.gen;  // orphans every outstanding id and heap record for this slot
+  if (slot.gen == 0) ++slot.gen;  // generation 0 is reserved for "never issued"
+  free_slots_.push_back(index);
+}
+
+void EventQueue::drop_dead_top() {
   while (!heap_.empty()) {
-    const auto id = to_underlying(heap_.front().id);
-    if (cancelled_.erase(id) == 0) return;
+    const HeapEntry& top = heap_.front();
+    const Slot& slot = slots_[top.slot];
+    if (slot.live && slot.gen == top.gen) return;
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     heap_.pop_back();
   }
 }
 
 bool EventQueue::pop(Event& out) {
-  drop_cancelled_top();
+  // drop_dead_top() keeps the front live after every mutation, but stay
+  // defensive against a first call on an empty queue.
   if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  Slot& slot = slots_[top.slot];
+  assert(slot.live && slot.gen == top.gen && "heap front must be live");
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
-  out = std::move(heap_.back());
   heap_.pop_back();
-  pending_.erase(to_underlying(out.id));
+
+  out.time = top.time;
+  out.seq = top.seq;
+  out.id = encode(top.slot, top.gen);
+  out.fn = std::move(slot.fn);
+  release_slot(top.slot);
   --live_;
+  drop_dead_top();
   return true;
 }
 
 bool EventQueue::cancel(EventId id) {
-  const auto raw = to_underlying(id);
-  if (pending_.erase(raw) == 0) return false;
-  cancelled_.insert(raw);
+  const std::uint64_t raw = to_underlying(id);
+  const auto index = static_cast<std::uint32_t>(raw & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(raw >> 32);
+  if (index >= slots_.size()) return false;
+  Slot& slot = slots_[index];
+  if (!slot.live || slot.gen != gen) return false;
+  release_slot(index);
   --live_;
+  drop_dead_top();
   return true;
-}
-
-SimTime EventQueue::next_time() {
-  drop_cancelled_top();
-  return heap_.empty() ? SimTime::max() : heap_.front().time;
-}
-
-SimTime EventQueue::peek_next_time() const {
-  SimTime best = SimTime::max();
-  for (const Event& e : heap_) {
-    if (cancelled_.contains(to_underlying(e.id))) continue;
-    if (e.time < best) best = e.time;
-  }
-  return best;
-}
-
-bool EventQueue::empty() {
-  drop_cancelled_top();
-  return heap_.empty();
 }
 
 }  // namespace sqos::sim

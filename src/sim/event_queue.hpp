@@ -1,20 +1,29 @@
-// Pending-event priority queue with lazy cancellation.
+// Pending-event priority queue with generation-stamped O(1) cancellation.
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
 
 namespace sqos::sim {
 
-/// Min-heap on (time, seq). Cancellation is lazy: cancelled ids are recorded
-/// in a side set and their records dropped when they surface, so cancel() is
-/// O(1) and pop() stays O(log n) amortized.
+/// Min-heap on (time, seq) over lightweight 24-byte records; callbacks live
+/// in a recycled slot vector addressed by (slot, generation) pairs. Push,
+/// pop and cancel are allocation-free on the steady path: slots (and the
+/// inline storage of their InlineFn callbacks) are reused via a free list,
+/// and heap/slot vectors only grow to the high-water mark of pending events.
+///
+/// Cancellation is O(1): it bumps the slot's generation, instantly orphaning
+/// the heap record, and destroys the callback (releasing its captures) right
+/// away. Orphaned heap records are dropped eagerly whenever they reach the
+/// top, so the heap front is always a live event and next_time() is O(1)
+/// and const.
 class EventQueue {
  public:
-  void push(Event event);
+  /// Schedule `fn` at time `t`; returns the handle used for cancel().
+  EventId push(SimTime t, EventFn fn);
 
   /// Pop the earliest non-cancelled event; returns false when empty.
   [[nodiscard]] bool pop(Event& out);
@@ -22,23 +31,50 @@ class EventQueue {
   /// Mark an event cancelled; returns false if the id is not pending.
   bool cancel(EventId id);
 
-  /// Earliest pending (non-cancelled) time; SimTime::max() when empty.
-  [[nodiscard]] SimTime next_time();
+  /// Earliest pending (non-cancelled) time; SimTime::max() when empty. O(1).
+  [[nodiscard]] SimTime next_time() const {
+    return heap_.empty() ? SimTime::max() : heap_.front().time;
+  }
 
-  /// Const variant of next_time() for observers (invariant audits): a linear
-  /// scan that skips cancelled records without compacting the heap. O(n), but
-  /// audits run every Nth event on queues of modest depth.
-  [[nodiscard]] SimTime peek_next_time() const;
+  /// Alias of next_time() kept for observers (invariant audits). O(1), const.
+  [[nodiscard]] SimTime peek_next_time() const { return next_time(); }
 
-  [[nodiscard]] bool empty();
+  [[nodiscard]] bool empty() const { return live_ == 0; }
   [[nodiscard]] std::size_t size() const { return live_; }
 
  private:
-  void drop_cancelled_top();
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
 
-  std::vector<Event> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
-  std::unordered_set<std::uint64_t> pending_;
+    [[nodiscard]] friend bool operator>(const HeapEntry& a, const HeapEntry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  [[nodiscard]] static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return EventId{(static_cast<std::uint64_t>(gen) << 32) | slot};
+  }
+
+  /// Drop orphaned (cancelled) records until the heap front is live.
+  void drop_dead_top();
+
+  /// Return a slot to the free list and invalidate outstanding ids/records.
+  void release_slot(std::uint32_t index);
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
 };
 

@@ -5,19 +5,10 @@
 
 namespace sqos::sim {
 
-EventId Simulator::next_id() { return EventId{next_id_++}; }
-
 EventId Simulator::schedule_at(SimTime t, EventFn fn) {
   assert(t >= now_ && "cannot schedule into the past");
   assert(fn && "scheduled callback must be callable");
-  Event e;
-  e.time = t;
-  e.seq = next_seq_++;
-  e.id = next_id();
-  e.fn = std::move(fn);
-  const EventId id = e.id;
-  queue_.push(std::move(e));
-  return id;
+  return queue_.push(t, std::move(fn));
 }
 
 EventId Simulator::schedule_after(SimTime delay, EventFn fn) {

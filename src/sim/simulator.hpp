@@ -53,8 +53,8 @@ class Simulator {
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
   /// Earliest pending event time without mutating the queue; SimTime::max()
-  /// when the queue is empty. Never earlier than now() — the audit hook
-  /// checks exactly that.
+  /// when the queue is empty. O(1) — the queue keeps its heap front live.
+  /// Never earlier than now() — the audit hook checks exactly that.
   [[nodiscard]] SimTime next_event_time() const { return queue_.peek_next_time(); }
 
   /// Observation hook run after every executed event (same simulated time as
@@ -65,12 +65,8 @@ class Simulator {
   void set_post_event_hook(PostEventHook hook) { post_event_ = std::move(hook); }
 
  private:
-  EventId next_id();
-
   EventQueue queue_;
   SimTime now_ = SimTime::zero();
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
   PostEventHook post_event_;

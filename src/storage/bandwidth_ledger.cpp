@@ -17,6 +17,10 @@ void BandwidthLedger::advance_to(SimTime t) {
 }
 
 void BandwidthLedger::on_allocation_change(SimTime t, Bandwidth allocated) {
+  // Batched flow updates: when N transfers start or finish at one simulated
+  // instant, the first sync advances the integrals and the remaining N-1
+  // (same time, possibly same total) reduce to this constant-time update.
+  if (t == last_ && allocated == alloc_) return;
   advance_to(t);
   alloc_ = allocated;
   last_ = t;

@@ -59,6 +59,10 @@ class ThrottleGroup {
   }
   bool remove_flow(FlowId id) { return flows_.remove(id); }
 
+  /// Drop every flow in one batched pass (crash handling): the group settles
+  /// to zero allocation with a single downstream ledger sync.
+  void drain_flows() { flows_.drain(); }
+
   [[nodiscard]] const FlowTable& flows() const { return flows_; }
 
  private:

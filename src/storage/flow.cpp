@@ -2,41 +2,81 @@
 
 namespace sqos::storage {
 
+namespace {
+constexpr std::uint32_t slot_of(FlowId id) {
+  return static_cast<std::uint32_t>(to_underlying(id) & 0xffffffffu);
+}
+constexpr std::uint32_t gen_of(FlowId id) {
+  return static_cast<std::uint32_t>(to_underlying(id) >> 32);
+}
+constexpr FlowId encode(std::uint32_t slot, std::uint32_t gen) {
+  return FlowId{(static_cast<std::uint64_t>(gen) << 32) | slot};
+}
+}  // namespace
+
 FlowId FlowTable::add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now) {
-  const FlowId id{next_id_++};
+  std::uint32_t slot = 0;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  SlotRef& ref = slots_[slot];
+  ref.index = static_cast<std::uint32_t>(dense_.size());
+  ref.live = true;
+
   Flow f;
-  f.id = id;
+  f.id = encode(slot, ref.gen);
   f.kind = kind;
   f.file = file;
   f.rate = rate;
   f.started = now;
+  dense_.push_back(f);
   total_ += rate;
-  flows_.emplace(to_underlying(id), f);
-  return id;
+  return f.id;
+}
+
+const Flow* FlowTable::lookup(FlowId id) const {
+  const std::uint32_t slot = slot_of(id);
+  if (slot >= slots_.size()) return nullptr;
+  const SlotRef& ref = slots_[slot];
+  if (!ref.live || ref.gen != gen_of(id)) return nullptr;
+  return &dense_[ref.index];
+}
+
+void FlowTable::release_slot(std::uint32_t slot) {
+  SlotRef& ref = slots_[slot];
+  ref.live = false;
+  ++ref.gen;
+  if (ref.gen == 0) ++ref.gen;  // generation 0 is reserved for "never issued"
+  free_slots_.push_back(slot);
 }
 
 bool FlowTable::remove(FlowId id) {
-  const auto it = flows_.find(to_underlying(id));
-  if (it == flows_.end()) return false;
-  total_ -= it->second.rate;
-  flows_.erase(it);
+  const Flow* f = lookup(id);
+  if (f == nullptr) return false;
+  const std::uint32_t index = slots_[slot_of(id)].index;
+  total_ -= f->rate;
+  release_slot(slot_of(id));
+
+  // Swap-remove from the dense vector and repoint the moved flow's slot.
+  const std::uint32_t last = static_cast<std::uint32_t>(dense_.size()) - 1;
+  if (index != last) {
+    dense_[index] = dense_[last];
+    slots_[slot_of(dense_[index].id)].index = index;
+  }
+  dense_.pop_back();
   // Guard against negative drift from float accumulation when empty.
-  if (flows_.empty()) total_ = Bandwidth::zero();
+  if (dense_.empty()) total_ = Bandwidth::zero();
   return true;
 }
 
-bool FlowTable::contains(FlowId id) const { return flows_.contains(to_underlying(id)); }
-
-const Flow* FlowTable::find(FlowId id) const {
-  const auto it = flows_.find(to_underlying(id));
-  return it == flows_.end() ? nullptr : &it->second;
-}
-
-std::vector<Flow> FlowTable::snapshot() const {
-  std::vector<Flow> out;
-  out.reserve(flows_.size());
-  for (const auto& [_, f] : flows_) out.push_back(f);
-  return out;
+void FlowTable::drain() {
+  for (const Flow& f : dense_) release_slot(slot_of(f.id));
+  dense_.clear();
+  total_ = Bandwidth::zero();
 }
 
 }  // namespace sqos::storage

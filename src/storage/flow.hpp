@@ -5,7 +5,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "util/sim_time.hpp"
@@ -13,6 +12,8 @@
 
 namespace sqos::storage {
 
+/// Opaque flow handle. Internally (generation << 32 | slot) into the table's
+/// slot index; generations start at 1, so a live id is never zero.
 enum class FlowId : std::uint64_t {};
 
 [[nodiscard]] constexpr std::uint64_t to_underlying(FlowId id) {
@@ -35,6 +36,13 @@ struct Flow {
 };
 
 /// Bookkeeping for the set of flows active on one resource manager.
+///
+/// Flows live in a dense vector (iterable without copying — see active())
+/// indexed through a generation-stamped slot table, so add/remove/find are
+/// O(1) and allocation-free once the table reaches its high-water mark.
+/// The aggregate rate is maintained incrementally: N concurrent transfers
+/// starting or finishing at one instant cost one O(1) total update each and
+/// a single ledger pass downstream, never an O(N) rescan.
 class FlowTable {
  public:
   /// Insert a flow and return its assigned id.
@@ -43,19 +51,36 @@ class FlowTable {
   /// Remove a flow; returns false when the id is unknown (already removed).
   bool remove(FlowId id);
 
-  [[nodiscard]] bool contains(FlowId id) const;
-  [[nodiscard]] const Flow* find(FlowId id) const;
+  /// Remove every flow in one batched pass (crash handling); the aggregate
+  /// rate drops to exactly zero so a single ledger sync settles the RM.
+  void drain();
 
-  [[nodiscard]] std::size_t size() const { return flows_.size(); }
+  [[nodiscard]] bool contains(FlowId id) const { return lookup(id) != nullptr; }
+  [[nodiscard]] const Flow* find(FlowId id) const { return lookup(id); }
+
+  [[nodiscard]] std::size_t size() const { return dense_.size(); }
   [[nodiscard]] Bandwidth total_rate() const { return total_; }
 
-  /// Snapshot of active flows (unordered).
-  [[nodiscard]] std::vector<Flow> snapshot() const;
+  /// Zero-copy view of the active flows (unordered; invalidated by mutation).
+  [[nodiscard]] const std::vector<Flow>& active() const { return dense_; }
+
+  /// Owned copy of the active flows, for callers that mutate while iterating.
+  [[nodiscard]] std::vector<Flow> snapshot() const { return dense_; }
 
  private:
-  std::unordered_map<std::uint64_t, Flow> flows_;
+  struct SlotRef {
+    std::uint32_t index = 0;  // position in dense_ while live
+    std::uint32_t gen = 1;
+    bool live = false;
+  };
+
+  [[nodiscard]] const Flow* lookup(FlowId id) const;
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Flow> dense_;
+  std::vector<SlotRef> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Bandwidth total_;
-  std::uint64_t next_id_ = 1;
 };
 
 }  // namespace sqos::storage

@@ -1,0 +1,447 @@
+#include "util/bench_json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace sqos {
+
+namespace {
+
+constexpr std::string_view kSchema = "sqos-bench-v1";
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  out += '"';
+}
+
+std::string render_number(double v) {
+  char buf[64];
+  // Shortest round-trippable rendering keeps exact metrics exact.
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// ------------------------------------------------- minimal JSON parser --
+// Covers the full JSON grammar for objects/arrays/strings/numbers/bools,
+// which is all our own writer emits; errors carry a byte offset.
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  [[nodiscard]] bool fail(const std::string& what) {
+    if (error.empty()) {
+      error = what + " at byte " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos])) != 0) ++pos;
+  }
+
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != c) {
+      return fail(std::string{"expected '"} + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  [[nodiscard]] bool parse_string(std::string& out) {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return fail("expected string");
+    ++pos;
+    out.clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\') {
+        if (pos >= text.size()) return fail("dangling escape");
+        const char e = text[pos++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: return fail("unsupported escape");
+        }
+      }
+      out += c;
+    }
+    if (pos >= text.size()) return fail("unterminated string");
+    ++pos;  // closing quote
+    return true;
+  }
+
+  [[nodiscard]] bool parse_number(double& out) {
+    skip_ws();
+    const char* begin = text.data() + pos;
+    char* end = nullptr;
+    out = std::strtod(begin, &end);
+    if (end == begin) return fail("expected number");
+    pos += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  /// Skip any JSON value (used for unknown keys).
+  [[nodiscard]] bool skip_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail("expected value");
+    const char c = text[pos];
+    if (c == '"') {
+      std::string ignored;
+      return parse_string(ignored);
+    }
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      skip_ws();
+      if (pos < text.size() && text[pos] == close) {
+        ++pos;
+        return true;
+      }
+      while (true) {
+        if (c == '{') {
+          std::string key;
+          if (!parse_string(key) || !consume(':')) return false;
+        }
+        if (!skip_value()) return false;
+        skip_ws();
+        if (pos >= text.size()) return fail("unterminated container");
+        if (text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        if (text[pos] == close) {
+          ++pos;
+          return true;
+        }
+        return fail("expected ',' or container end");
+      }
+    }
+    // Literals and numbers.
+    if (text.compare(pos, 4, "true") == 0) { pos += 4; return true; }
+    if (text.compare(pos, 5, "false") == 0) { pos += 5; return true; }
+    if (text.compare(pos, 4, "null") == 0) { pos += 4; return true; }
+    double ignored = 0.0;
+    return parse_number(ignored);
+  }
+};
+
+MetricGoal goal_from_string(std::string_view s) {
+  if (s == "higher") return MetricGoal::kHigherIsBetter;
+  if (s == "lower") return MetricGoal::kLowerIsBetter;
+  if (s == "exact") return MetricGoal::kExact;
+  return MetricGoal::kInfo;
+}
+
+bool parse_metric(Parser& p, BenchMetric& m) {
+  if (!p.consume('{')) return false;
+  p.skip_ws();
+  if (p.pos < p.text.size() && p.text[p.pos] == '}') {
+    ++p.pos;
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!p.parse_string(key) || !p.consume(':')) return false;
+    if (key == "name") {
+      if (!p.parse_string(m.name)) return false;
+    } else if (key == "unit") {
+      if (!p.parse_string(m.unit)) return false;
+    } else if (key == "goal") {
+      std::string goal;
+      if (!p.parse_string(goal)) return false;
+      m.goal = goal_from_string(goal);
+    } else if (key == "value") {
+      if (!p.parse_number(m.value)) return false;
+    } else {
+      if (!p.skip_value()) return false;
+    }
+    p.skip_ws();
+    if (p.pos < p.text.size() && p.text[p.pos] == ',') {
+      ++p.pos;
+      continue;
+    }
+    return p.consume('}');
+  }
+}
+
+bool parse_document(Parser& p, BenchDoc& doc, std::string& schema) {
+  if (!p.consume('{')) return false;
+  p.skip_ws();
+  if (p.pos < p.text.size() && p.text[p.pos] == '}') {
+    ++p.pos;
+    return true;
+  }
+  while (true) {
+    std::string key;
+    if (!p.parse_string(key) || !p.consume(':')) return false;
+    if (key == "schema") {
+      if (!p.parse_string(schema)) return false;
+    } else if (key == "binary") {
+      if (!p.parse_string(doc.binary)) return false;
+    } else if (key == "meta") {
+      if (!p.consume('{')) return false;
+      p.skip_ws();
+      if (p.pos < p.text.size() && p.text[p.pos] == '}') {
+        ++p.pos;
+      } else {
+        while (true) {
+          std::string mk;
+          std::string mv;
+          if (!p.parse_string(mk) || !p.consume(':') || !p.parse_string(mv)) return false;
+          doc.meta[std::move(mk)] = std::move(mv);
+          p.skip_ws();
+          if (p.pos < p.text.size() && p.text[p.pos] == ',') {
+            ++p.pos;
+            continue;
+          }
+          if (!p.consume('}')) return false;
+          break;
+        }
+      }
+    } else if (key == "metrics") {
+      if (!p.consume('[')) return false;
+      p.skip_ws();
+      if (p.pos < p.text.size() && p.text[p.pos] == ']') {
+        ++p.pos;
+      } else {
+        while (true) {
+          BenchMetric m;
+          if (!parse_metric(p, m)) return false;
+          doc.metrics.push_back(std::move(m));
+          p.skip_ws();
+          if (p.pos < p.text.size() && p.text[p.pos] == ',') {
+            ++p.pos;
+            continue;
+          }
+          if (!p.consume(']')) return false;
+          break;
+        }
+      }
+    } else {
+      if (!p.skip_value()) return false;
+    }
+    p.skip_ws();
+    if (p.pos < p.text.size() && p.text[p.pos] == ',') {
+      ++p.pos;
+      continue;
+    }
+    return p.consume('}');
+  }
+}
+
+/// Relative closeness against the larger magnitude (floored at 1 so tiny
+/// absolute noise around zero does not explode the relative error).
+bool close(double a, double b, double rel) {
+  return std::fabs(a - b) <= rel * std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+}
+
+}  // namespace
+
+void BenchReport::set_meta(std::string key, std::string value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(std::move(key), std::move(value));
+}
+
+void BenchReport::add(std::string name, double value, std::string unit, MetricGoal goal) {
+  BenchMetric m;
+  m.name = std::move(name);
+  m.value = value;
+  m.unit = std::move(unit);
+  m.goal = goal;
+  metrics_.push_back(std::move(m));
+}
+
+std::string BenchReport::to_json() const {
+  std::string out;
+  out += "{\n  \"schema\": ";
+  append_escaped(out, kSchema);
+  out += ",\n  \"binary\": ";
+  append_escaped(out, binary_);
+  out += ",\n  \"meta\": {";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    append_escaped(out, meta_[i].first);
+    out += ": ";
+    append_escaped(out, meta_[i].second);
+  }
+  out += meta_.empty() ? "},\n" : "\n  },\n";
+  out += "  \"metrics\": [";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    const BenchMetric& m = metrics_[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    out += "{ \"name\": ";
+    append_escaped(out, m.name);
+    out += ", \"value\": ";
+    out += render_number(m.value);
+    out += ", \"unit\": ";
+    append_escaped(out, m.unit);
+    out += ", \"goal\": ";
+    append_escaped(out, to_string(m.goal));
+    out += " }";
+  }
+  out += metrics_.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status BenchReport::write_file(const std::string& path) const {
+  if (path.empty()) return Status::ok();
+  std::ofstream out{path};
+  if (!out.is_open()) {
+    return Status::unavailable("cannot open " + path + " for writing");
+  }
+  out << to_json();
+  out.flush();
+  if (!out.good()) return Status::internal("short write to " + path);
+  return Status::ok();
+}
+
+const BenchMetric* BenchDoc::find(std::string_view name) const {
+  for (const BenchMetric& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Result<BenchDoc> parse_bench_json(std::string_view text) {
+  Parser p;
+  p.text = text;
+  BenchDoc doc;
+  std::string schema;
+  if (!parse_document(p, doc, schema)) {
+    return Status::invalid_argument("malformed bench json: " + p.error);
+  }
+  if (schema != kSchema) {
+    return Status::invalid_argument("unexpected schema \"" + schema + "\" (want \"" +
+                                    std::string{kSchema} + "\")");
+  }
+  return doc;
+}
+
+Result<BenchDoc> load_bench_json(const std::string& path) {
+  std::ifstream in{path};
+  if (!in.is_open()) return Status::not_found("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_bench_json(buffer.str());
+}
+
+std::string GateFinding::to_string() const {
+  char buf[256];
+  const char* verdict_name = "ok";
+  switch (verdict) {
+    case GateVerdict::kOk: verdict_name = "ok"; break;
+    case GateVerdict::kImprovement: verdict_name = "IMPROVED"; break;
+    case GateVerdict::kRegression: verdict_name = "REGRESSED"; break;
+    case GateVerdict::kNewMetric: verdict_name = "new metric"; break;
+    case GateVerdict::kMissing: verdict_name = "MISSING"; break;
+  }
+  if (verdict == GateVerdict::kNewMetric) {
+    std::snprintf(buf, sizeof buf, "%-44s %-10s current %.6g", metric.c_str(), verdict_name,
+                  current);
+  } else if (verdict == GateVerdict::kMissing) {
+    std::snprintf(buf, sizeof buf, "%-44s %-10s baseline %.6g, absent in current run",
+                  metric.c_str(), verdict_name, baseline);
+  } else {
+    std::snprintf(buf, sizeof buf, "%-44s %-10s baseline %.6g -> current %.6g (%+.1f%%)",
+                  metric.c_str(), verdict_name, baseline, current, delta * 100.0);
+  }
+  return buf;
+}
+
+bool GateResult::ok() const {
+  for (const GateFinding& f : findings) {
+    if (f.verdict == GateVerdict::kRegression || f.verdict == GateVerdict::kMissing) return false;
+  }
+  return true;
+}
+
+std::string GateResult::summary() const {
+  std::string out;
+  for (const GateFinding& f : findings) {
+    out += f.to_string();
+    out += '\n';
+  }
+  out += ok() ? "perf gate: PASS\n" : "perf gate: FAIL\n";
+  return out;
+}
+
+GateResult gate_compare(const BenchDoc& baseline, const BenchDoc& current,
+                        const GateOptions& options) {
+  GateResult result;
+  for (const BenchMetric& base : baseline.metrics) {
+    const BenchMetric* cur = current.find(base.name);
+    GateFinding f;
+    f.metric = base.name;
+    f.baseline = base.value;
+    if (cur == nullptr) {
+      f.verdict = GateVerdict::kMissing;
+      result.findings.push_back(std::move(f));
+      continue;
+    }
+    f.current = cur->value;
+    const double denom = std::fmax(1e-12, std::fabs(base.value));
+    f.delta = (cur->value - base.value) / denom;
+    switch (base.goal) {
+      case MetricGoal::kHigherIsBetter:
+        if (f.delta < -options.tolerance) {
+          f.verdict = GateVerdict::kRegression;
+        } else if (f.delta > options.tolerance) {
+          f.verdict = GateVerdict::kImprovement;
+        }
+        break;
+      case MetricGoal::kLowerIsBetter:
+        if (f.delta > options.tolerance) {
+          f.verdict = GateVerdict::kRegression;
+        } else if (f.delta < -options.tolerance) {
+          f.verdict = GateVerdict::kImprovement;
+        }
+        break;
+      case MetricGoal::kExact:
+        if (!close(base.value, cur->value, options.exact_tolerance)) {
+          f.verdict = GateVerdict::kRegression;
+        }
+        break;
+      case MetricGoal::kInfo:
+        break;
+    }
+    result.findings.push_back(std::move(f));
+  }
+  for (const BenchMetric& cur : current.metrics) {
+    if (baseline.find(cur.name) != nullptr) continue;
+    GateFinding f;
+    f.metric = cur.name;
+    f.verdict = GateVerdict::kNewMetric;
+    f.current = cur.value;
+    result.findings.push_back(std::move(f));
+  }
+  return result;
+}
+
+}  // namespace sqos

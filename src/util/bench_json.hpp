@@ -1,0 +1,140 @@
+// Machine-readable benchmark results: writer, reader and regression gate.
+//
+// Every perf-capable binary (bench_micro_core's perf-runner mode, the table
+// reproduction binaries via bench_common) emits the same `sqos-bench-v1`
+// JSON document:
+//
+//   {
+//     "schema": "sqos-bench-v1",
+//     "binary": "bench_micro_core",
+//     "meta": { "build": "release", "quick": "1" },
+//     "metrics": [
+//       { "name": "event_churn.ns_per_event", "value": 91.4,
+//         "unit": "ns", "goal": "lower" },
+//       ...
+//     ]
+//   }
+//
+// `goal` tells the perf gate how to compare a run against a baseline:
+//   "higher" / "lower"  — throughput / latency style, gated with a relative
+//                         tolerance (default 20%);
+//   "exact"             — simulation outputs (table cells, event counts);
+//                         any drift beyond float-noise tolerance is a
+//                         determinism regression;
+//   "info"              — recorded but never gated (peak RSS, wall time).
+//
+// tools/perf_gate is a thin CLI over gate_compare(); unit tests exercise the
+// comparator directly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace sqos {
+
+enum class MetricGoal : std::uint8_t {
+  kHigherIsBetter = 0,
+  kLowerIsBetter,
+  kExact,
+  kInfo,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(MetricGoal g) {
+  switch (g) {
+    case MetricGoal::kHigherIsBetter: return "higher";
+    case MetricGoal::kLowerIsBetter: return "lower";
+    case MetricGoal::kExact: return "exact";
+    case MetricGoal::kInfo: return "info";
+  }
+  return "info";
+}
+
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  MetricGoal goal = MetricGoal::kInfo;
+};
+
+/// Accumulates metrics and run metadata, then renders the JSON document.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string binary) : binary_{std::move(binary)} {}
+
+  void set_meta(std::string key, std::string value);
+  void add(std::string name, double value, std::string unit, MetricGoal goal);
+
+  [[nodiscard]] const std::vector<BenchMetric>& metrics() const { return metrics_; }
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write the document to `path` (no-op returning ok on an empty path).
+  [[nodiscard]] Status write_file(const std::string& path) const;
+
+ private:
+  std::string binary_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<BenchMetric> metrics_;
+};
+
+/// A parsed benchmark document.
+struct BenchDoc {
+  std::string binary;
+  std::map<std::string, std::string, std::less<>> meta;
+  std::vector<BenchMetric> metrics;
+
+  [[nodiscard]] const BenchMetric* find(std::string_view name) const;
+};
+
+/// Parse a document produced by BenchReport (accepts any JSON with the same
+/// shape; unknown keys are ignored). Returns an error on malformed JSON or a
+/// wrong/missing schema tag.
+[[nodiscard]] Result<BenchDoc> parse_bench_json(std::string_view text);
+
+/// Load and parse a document from disk.
+[[nodiscard]] Result<BenchDoc> load_bench_json(const std::string& path);
+
+// ----------------------------------------------------------------- gate --
+
+struct GateOptions {
+  double tolerance = 0.20;        // relative slack for higher/lower metrics
+  double exact_tolerance = 1e-9;  // relative slack for exact metrics
+};
+
+enum class GateVerdict : std::uint8_t {
+  kOk = 0,       // within tolerance
+  kImprovement,  // better than baseline beyond tolerance
+  kRegression,   // worse than baseline beyond tolerance (fails the gate)
+  kNewMetric,    // present only in the current run (informational)
+  kMissing,      // present only in the baseline (fails the gate)
+};
+
+struct GateFinding {
+  std::string metric;
+  GateVerdict verdict = GateVerdict::kOk;
+  double baseline = 0.0;
+  double current = 0.0;
+  double delta = 0.0;  // relative change of value, positive = increased
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct GateResult {
+  std::vector<GateFinding> findings;
+
+  /// True when no metric regressed and none disappeared.
+  [[nodiscard]] bool ok() const;
+
+  /// Human-readable multi-line report (one finding per line + verdict).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Compare `current` against `baseline` metric-by-metric (matched by name).
+[[nodiscard]] GateResult gate_compare(const BenchDoc& baseline, const BenchDoc& current,
+                                      const GateOptions& options = {});
+
+}  // namespace sqos

@@ -1,0 +1,55 @@
+// Determinism regression gate: fixed-seed runs must reproduce the exact
+// numbers the pre-optimization kernel produced. The golden values below were
+// captured on the event-queue/std::function implementation this PR replaced;
+// any drift means an optimization changed simulation behaviour, not just
+// speed. Refresh procedure: docs/PERFORMANCE.md §"Updating baselines".
+#include <gtest/gtest.h>
+
+#include "check/op_fuzzer.hpp"
+#include "exp/experiment.hpp"
+
+namespace sqos {
+namespace {
+
+TEST(DeterminismGolden, FuzzRunReproducesEventCount) {
+  check::FuzzOptions options;
+  options.seed = 101;
+  options.op_count = 2000;
+  options.audit_every = 4;
+  options.with_faults = true;
+  const check::FuzzResult result = check::OpFuzzer{options}.run();
+  EXPECT_EQ(result.violations.size(), 0u);
+  EXPECT_EQ(result.executed_events, 13059u);
+}
+
+TEST(DeterminismGolden, SoftExperimentReproducesTableCells) {
+  exp::ExperimentParams params;
+  params.users = 64;
+  params.mode = core::AllocationMode::kSoft;
+  params.policy = core::PolicyWeights::p111();
+  params.seed = 7;
+  const exp::ExperimentResult result = exp::run_experiment(params);
+  EXPECT_EQ(result.requests, 1497u);
+  EXPECT_EQ(result.completed, 1497u);
+  EXPECT_EQ(result.failed, 0u);
+  EXPECT_DOUBLE_EQ(result.overallocate_ratio, 0.018420089558352986);
+  EXPECT_EQ(result.control_messages, 15002u);
+  EXPECT_EQ(result.control_bytes, 1511584u);
+}
+
+TEST(DeterminismGolden, SameSeedSameResultAcrossRepeatedRuns) {
+  exp::ExperimentParams params;
+  params.users = 64;
+  params.mode = core::AllocationMode::kSoft;
+  params.policy = core::PolicyWeights::p111();
+  params.seed = 7;
+  const exp::ExperimentResult a = exp::run_experiment(params);
+  const exp::ExperimentResult b = exp::run_experiment(params);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_DOUBLE_EQ(a.overallocate_ratio, b.overallocate_ratio);
+}
+
+}  // namespace
+}  // namespace sqos

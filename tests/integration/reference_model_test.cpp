@@ -50,27 +50,27 @@ TEST(ReferenceModel, FlowTableMatchesMapModel) {
 
 TEST(ReferenceModel, EventQueueMatchesMultimapModel) {
   sim::EventQueue queue;
-  // Reference: ordered by (time, seq); cancellation removes by id.
+  // Reference: ordered by (time, seq); cancellation removes by the id the
+  // queue issued. Ids of popped/cancelled events must go stale (the queue
+  // recycles slots under a new generation).
   std::multimap<std::pair<std::int64_t, std::uint64_t>, std::uint64_t> model;
   std::map<std::uint64_t, std::multimap<std::pair<std::int64_t, std::uint64_t>,
                                         std::uint64_t>::iterator>
       by_id;
+  std::vector<std::uint64_t> issued;  // every id ever returned, live or stale
   Rng rng{7};
-  std::uint64_t seq = 0;
-  std::uint64_t next_id = 1;
+  std::uint64_t seq = 0;  // mirrors the queue's internal push counter
 
   for (int step = 0; step < 30'000; ++step) {
     const double op = rng.next_double();
-    if (op < 0.5) {  // push
-      sim::Event e;
+    if (op < 0.5 || issued.empty()) {  // push
       const std::int64_t t = static_cast<std::int64_t>(rng.next_below(1000));
-      e.time = SimTime::micros(t);
-      e.seq = seq++;
-      e.id = sim::EventId{next_id};
-      e.fn = [] {};
-      queue.push(std::move(e));
-      by_id.emplace(next_id, model.emplace(std::make_pair(t, seq - 1), next_id));
-      ++next_id;
+      const sim::EventId id = queue.push(SimTime::micros(t), [] {});
+      const std::uint64_t raw = sim::to_underlying(id);
+      ASSERT_EQ(by_id.count(raw), 0u) << "queue reissued a live id";
+      by_id.emplace(raw, model.emplace(std::make_pair(t, seq), raw));
+      issued.push_back(raw);
+      ++seq;
     } else if (op < 0.8) {  // pop
       sim::Event out;
       const bool got = queue.pop(out);
@@ -83,8 +83,8 @@ TEST(ReferenceModel, EventQueueMatchesMultimapModel) {
         by_id.erase(expected->second);
         model.erase(expected);
       }
-    } else {  // cancel a random (possibly absent) id
-      const std::uint64_t target = 1 + rng.next_below(next_id);
+    } else {  // cancel a random previously issued (possibly stale) id
+      const std::uint64_t target = issued[rng.next_below(issued.size())];
       const auto it = by_id.find(target);
       const bool cancelled = queue.cancel(sim::EventId{target});
       ASSERT_EQ(cancelled, it != by_id.end());

@@ -2,23 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace sqos::sim {
 namespace {
 
-Event make(std::int64_t t_us, std::uint64_t seq, std::uint64_t id) {
-  Event e;
-  e.time = SimTime::micros(t_us);
-  e.seq = seq;
-  e.id = EventId{id};
-  e.fn = [] {};
-  return e;
+EventId push_at(EventQueue& q, std::int64_t t_us) {
+  return q.push(SimTime::micros(t_us), [] {});
 }
 
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
-  q.push(make(30, 0, 1));
-  q.push(make(10, 1, 2));
-  q.push(make(20, 2, 3));
+  push_at(q, 30);
+  push_at(q, 10);
+  push_at(q, 20);
   Event e;
   ASSERT_TRUE(q.pop(e));
   EXPECT_EQ(e.time.as_micros(), 10);
@@ -29,74 +27,113 @@ TEST(EventQueue, PopsInTimeOrder) {
   EXPECT_FALSE(q.pop(e));
 }
 
-TEST(EventQueue, TiesBreakBySequence) {
+TEST(EventQueue, TiesBreakByPushOrder) {
   EventQueue q;
-  q.push(make(10, 5, 1));
-  q.push(make(10, 2, 2));
-  q.push(make(10, 9, 3));
+  std::vector<int> fired;
+  for (int i = 0; i < 3; ++i) {
+    q.push(SimTime::micros(10), [i, &fired] { fired.push_back(i); });
+  }
+  Event e;
+  while (q.pop(e)) e.fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, PopRunsTheScheduledClosure) {
+  EventQueue q;
+  int hits = 0;
+  q.push(SimTime::micros(5), [&hits] { ++hits; });
   Event e;
   ASSERT_TRUE(q.pop(e));
-  EXPECT_EQ(e.seq, 2u);
-  ASSERT_TRUE(q.pop(e));
-  EXPECT_EQ(e.seq, 5u);
-  ASSERT_TRUE(q.pop(e));
-  EXPECT_EQ(e.seq, 9u);
+  e.fn();
+  EXPECT_EQ(hits, 1);
 }
 
 TEST(EventQueue, CancelRemovesEvent) {
   EventQueue q;
-  q.push(make(10, 0, 1));
-  q.push(make(20, 1, 2));
-  EXPECT_TRUE(q.cancel(EventId{1}));
+  const EventId first = push_at(q, 10);
+  push_at(q, 20);
+  EXPECT_TRUE(q.cancel(first));
   EXPECT_EQ(q.size(), 1u);
   Event e;
   ASSERT_TRUE(q.pop(e));
-  EXPECT_EQ(to_underlying(e.id), 2u);
+  EXPECT_EQ(e.time.as_micros(), 20);
   EXPECT_FALSE(q.pop(e));
 }
 
 TEST(EventQueue, CancelUnknownReturnsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.cancel(EventId{99}));
-  q.push(make(10, 0, 1));
+  const EventId id = push_at(q, 10);
   Event e;
   ASSERT_TRUE(q.pop(e));
-  EXPECT_FALSE(q.cancel(EventId{1}));  // already popped
+  EXPECT_FALSE(q.cancel(id));  // already popped
 }
 
 TEST(EventQueue, DoubleCancelReturnsFalse) {
   EventQueue q;
-  q.push(make(10, 0, 1));
-  EXPECT_TRUE(q.cancel(EventId{1}));
-  EXPECT_FALSE(q.cancel(EventId{1}));
+  const EventId id = push_at(q, 10);
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
 }
 
 TEST(EventQueue, NextTimeSkipsCancelled) {
   EventQueue q;
-  q.push(make(10, 0, 1));
-  q.push(make(20, 1, 2));
+  const EventId first = push_at(q, 10);
+  const EventId second = push_at(q, 20);
   EXPECT_EQ(q.next_time().as_micros(), 10);
-  q.cancel(EventId{1});
+  q.cancel(first);
   EXPECT_EQ(q.next_time().as_micros(), 20);
-  q.cancel(EventId{2});
+  q.cancel(second);
   EXPECT_EQ(q.next_time(), SimTime::max());
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeekNextTimeMatchesNextTime) {
+  EventQueue q;
+  EXPECT_EQ(q.peek_next_time(), SimTime::max());
+  push_at(q, 40);
+  push_at(q, 15);
+  EXPECT_EQ(q.peek_next_time(), q.next_time());
+  EXPECT_EQ(q.peek_next_time().as_micros(), 15);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
   EXPECT_EQ(q.size(), 0u);
-  q.push(make(1, 0, 1));
-  q.push(make(2, 1, 2));
+  push_at(q, 1);
+  const EventId second = push_at(q, 2);
   EXPECT_EQ(q.size(), 2u);
-  q.cancel(EventId{2});
+  q.cancel(second);
   EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RecycledSlotRejectsStaleId) {
+  EventQueue q;
+  const EventId stale = push_at(q, 10);
+  Event e;
+  ASSERT_TRUE(q.pop(e));  // releases the slot
+  // The next push reuses the slot with a bumped generation.
+  const EventId fresh = push_at(q, 20);
+  EXPECT_NE(stale, fresh);
+  EXPECT_FALSE(q.cancel(stale));  // must not cancel the new occupant
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(fresh));
+}
+
+TEST(EventQueue, IdsAreNeverZero) {
+  EventQueue q;
+  for (int round = 0; round < 3; ++round) {
+    const EventId id = push_at(q, round);
+    EXPECT_NE(to_underlying(id), 0u);
+    Event e;
+    ASSERT_TRUE(q.pop(e));
+  }
 }
 
 TEST(EventQueue, ManyEventsStaySorted) {
   EventQueue q;
   for (std::uint64_t i = 0; i < 1000; ++i) {
-    q.push(make(static_cast<std::int64_t>((i * 7919) % 1000), i, i + 1));
+    push_at(q, static_cast<std::int64_t>((i * 7919) % 1000));
   }
   Event e;
   SimTime last = SimTime::zero();
@@ -107,6 +144,23 @@ TEST(EventQueue, ManyEventsStaySorted) {
     ++popped;
   }
   EXPECT_EQ(popped, 1000u);
+}
+
+TEST(EventQueue, CancelStormLeavesQueueConsistent) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (std::int64_t i = 0; i < 200; ++i) ids.push_back(push_at(q, i));
+  for (std::size_t i = 0; i < ids.size(); i += 2) EXPECT_TRUE(q.cancel(ids[i]));
+  EXPECT_EQ(q.size(), 100u);
+  Event e;
+  std::size_t popped = 0;
+  SimTime last = SimTime::zero();
+  while (q.pop(e)) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    ++popped;
+  }
+  EXPECT_EQ(popped, 100u);
 }
 
 }  // namespace

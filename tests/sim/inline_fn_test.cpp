@@ -1,0 +1,159 @@
+#include "sim/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace sqos::sim {
+namespace {
+
+/// Counts live instances so tests can assert destruction on reset/overwrite,
+/// for both the inline and the heap storage paths.
+template <std::size_t PadBytes>
+struct Tracked {
+  static inline int live = 0;
+  int* hits;
+  std::array<std::byte, PadBytes> pad{};
+
+  explicit Tracked(int* h) : hits{h} { ++live; }
+  Tracked(const Tracked& other) : hits{other.hits} { ++live; }
+  Tracked(Tracked&& other) noexcept : hits{other.hits} { ++live; }
+  ~Tracked() { --live; }
+  void operator()() const { ++*hits; }
+};
+
+using SmallTracked = Tracked<8>;                                   // well under the buffer
+using EdgeTracked = Tracked<InlineFn::kInlineSize - sizeof(int*)>; // lands exactly at 48
+using BigTracked = Tracked<InlineFn::kInlineSize>;                 // must spill to heap
+
+static_assert(sizeof(EdgeTracked) == InlineFn::kInlineSize);
+static_assert(sizeof(BigTracked) > InlineFn::kInlineSize);
+
+TEST(InlineFn, EmptyByDefault) {
+  InlineFn fn;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFn, InvokesSmallCapture) {
+  int hits = 0;
+  InlineFn fn{[&hits] { ++hits; }};
+  ASSERT_TRUE(fn);
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFn, CaptureExactlyAtBufferSizeStaysInline) {
+  int hits = 0;
+  {
+    InlineFn fn{EdgeTracked{&hits}};
+    EXPECT_EQ(EdgeTracked::live, 1);
+    fn();
+  }
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(EdgeTracked::live, 0);
+}
+
+TEST(InlineFn, CaptureOverBufferSizeUsesHeap) {
+  int hits = 0;
+  {
+    InlineFn fn{BigTracked{&hits}};
+    EXPECT_EQ(BigTracked::live, 1);
+    fn();
+    fn();
+  }
+  EXPECT_EQ(hits, 2);
+  EXPECT_EQ(BigTracked::live, 0);
+}
+
+TEST(InlineFn, MoveLeavesSourceEmpty) {
+  int hits = 0;
+  InlineFn a{SmallTracked{&hits}};
+  InlineFn b{std::move(a)};
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): post-move state is specified
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(SmallTracked::live, 1);
+}
+
+TEST(InlineFn, MoveHeapTargetLeavesSourceEmpty) {
+  int hits = 0;
+  InlineFn a{BigTracked{&hits}};
+  InlineFn b{std::move(a)};
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(b);
+  b();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(BigTracked::live, 1);
+}
+
+TEST(InlineFn, MoveAssignDestroysPreviousTarget) {
+  int hits = 0;
+  InlineFn a{SmallTracked{&hits}};
+  InlineFn b{EdgeTracked{&hits}};
+  EXPECT_EQ(SmallTracked::live, 1);
+  EXPECT_EQ(EdgeTracked::live, 1);
+  b = std::move(a);
+  EXPECT_EQ(EdgeTracked::live, 0);  // old payload destroyed
+  EXPECT_EQ(SmallTracked::live, 1);
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(InlineFn, SelfMoveAssignIsSafe) {
+  int hits = 0;
+  InlineFn fn{SmallTracked{&hits}};
+  InlineFn& alias = fn;
+  fn = std::move(alias);
+  ASSERT_TRUE(fn);
+  fn();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(SmallTracked::live, 1);
+}
+
+TEST(InlineFn, MoveOnlyCaptureWorks) {
+  auto owned = std::make_unique<int>(41);
+  InlineFn fn{[p = std::move(owned)] { ++*p; }};
+  ASSERT_TRUE(fn);
+  fn();  // must not crash; unique_ptr payload survived the type erasure
+}
+
+TEST(InlineFn, ResetDestroysPayload) {
+  int hits = 0;
+  InlineFn fn{BigTracked{&hits}};
+  EXPECT_EQ(BigTracked::live, 1);
+  fn.reset();
+  EXPECT_FALSE(fn);
+  EXPECT_EQ(BigTracked::live, 0);
+}
+
+TEST(InlineFn, AssignNewCallableReplacesOld) {
+  int first = 0;
+  int second = 0;
+  InlineFn fn{[&first] { ++first; }};
+  fn();
+  fn = InlineFn{[&second] { ++second; }};
+  fn();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(InlineFn, ManyMovesPreserveInvocability) {
+  int hits = 0;
+  InlineFn fn{EdgeTracked{&hits}};
+  for (int i = 0; i < 16; ++i) {
+    InlineFn tmp{std::move(fn)};
+    fn = std::move(tmp);
+  }
+  ASSERT_TRUE(fn);
+  fn();
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(EdgeTracked::live, 1);
+}
+
+}  // namespace
+}  // namespace sqos::sim

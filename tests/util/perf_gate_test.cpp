@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bench_json.hpp"
+
+namespace sqos {
+namespace {
+
+BenchDoc doc_with(std::initializer_list<BenchMetric> metrics) {
+  BenchDoc doc;
+  doc.binary = "test";
+  doc.metrics = metrics;
+  return doc;
+}
+
+const GateFinding* find(const GateResult& result, std::string_view name) {
+  for (const GateFinding& f : result.findings) {
+    if (f.metric == name) return &f;
+  }
+  return nullptr;
+}
+
+TEST(BenchJson, ReportRoundTripsThroughParser) {
+  BenchReport report{"bench_micro_core"};
+  report.set_meta("build", "release");
+  report.set_meta("mode", "quick");
+  report.add("events_per_sec", 1.25e7, "1/s", MetricGoal::kHigherIsBetter);
+  report.add("ns_per_event", 80.0, "ns", MetricGoal::kLowerIsBetter);
+  report.add("cell0.requests", 1497.0, "", MetricGoal::kExact);
+  report.add("peak_rss_bytes", 4.0e6, "bytes", MetricGoal::kInfo);
+
+  auto parsed = parse_bench_json(report.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const BenchDoc& doc = parsed.value();
+  EXPECT_EQ(doc.binary, "bench_micro_core");
+  EXPECT_EQ(doc.meta.at("build"), "release");
+  ASSERT_EQ(doc.metrics.size(), 4u);
+  const BenchMetric* m = doc.find("ns_per_event");
+  ASSERT_NE(m, nullptr);
+  EXPECT_DOUBLE_EQ(m->value, 80.0);
+  EXPECT_EQ(m->unit, "ns");
+  EXPECT_EQ(m->goal, MetricGoal::kLowerIsBetter);
+  EXPECT_EQ(doc.find("cell0.requests")->goal, MetricGoal::kExact);
+  EXPECT_EQ(doc.find("nonexistent"), nullptr);
+}
+
+TEST(BenchJson, EscapesStringsInDocument) {
+  BenchReport report{"weird\"name\\with\nnoise"};
+  report.add("m", 1.0, "", MetricGoal::kInfo);
+  auto parsed = parse_bench_json(report.to_json());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().binary, "weird\"name\\with\nnoise");
+}
+
+TEST(BenchJson, RejectsMalformedDocument) {
+  EXPECT_FALSE(parse_bench_json("").is_ok());
+  EXPECT_FALSE(parse_bench_json("{").is_ok());
+  EXPECT_FALSE(parse_bench_json("[]").is_ok());
+  EXPECT_FALSE(parse_bench_json(R"({"schema": "other-v2", "metrics": []})").is_ok());
+  EXPECT_FALSE(parse_bench_json(R"({"binary": "x", "metrics": []})").is_ok());  // no schema
+}
+
+TEST(BenchJson, ParserIgnoresUnknownKeys) {
+  const std::string text = R"({
+    "schema": "sqos-bench-v1", "binary": "b", "extra": {"nested": [1, 2, {"x": null}]},
+    "metrics": [ {"name": "m", "value": 3.5, "unit": "", "goal": "lower", "future": true} ]
+  })";
+  auto parsed = parse_bench_json(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed.value().metrics.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.value().metrics[0].value, 3.5);
+}
+
+TEST(PerfGate, WithinToleranceIsOk) {
+  const auto base = doc_with({{"tput", 100.0, "", MetricGoal::kHigherIsBetter},
+                              {"lat", 50.0, "", MetricGoal::kLowerIsBetter}});
+  const auto current = doc_with({{"tput", 90.0, "", MetricGoal::kHigherIsBetter},
+                                 {"lat", 55.0, "", MetricGoal::kLowerIsBetter}});
+  const GateResult result = gate_compare(base, current, {.tolerance = 0.20});
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(find(result, "tput")->verdict, GateVerdict::kOk);
+  EXPECT_EQ(find(result, "lat")->verdict, GateVerdict::kOk);
+}
+
+TEST(PerfGate, HigherIsBetterRegressionFails) {
+  const auto base = doc_with({{"tput", 100.0, "", MetricGoal::kHigherIsBetter}});
+  const auto current = doc_with({{"tput", 70.0, "", MetricGoal::kHigherIsBetter}});
+  const GateResult result = gate_compare(base, current, {.tolerance = 0.20});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(find(result, "tput")->verdict, GateVerdict::kRegression);
+}
+
+TEST(PerfGate, LowerIsBetterRegressionFails) {
+  const auto base = doc_with({{"lat", 100.0, "", MetricGoal::kLowerIsBetter}});
+  const auto current = doc_with({{"lat", 125.0, "", MetricGoal::kLowerIsBetter}});
+  const GateResult result = gate_compare(base, current, {.tolerance = 0.20});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(find(result, "lat")->verdict, GateVerdict::kRegression);
+}
+
+TEST(PerfGate, ImprovementPassesAndIsLabelled) {
+  const auto base = doc_with({{"lat", 100.0, "", MetricGoal::kLowerIsBetter}});
+  const auto current = doc_with({{"lat", 40.0, "", MetricGoal::kLowerIsBetter}});
+  const GateResult result = gate_compare(base, current);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(find(result, "lat")->verdict, GateVerdict::kImprovement);
+}
+
+TEST(PerfGate, ToleranceBoundaryIsInclusive) {
+  const auto base = doc_with({{"lat", 100.0, "", MetricGoal::kLowerIsBetter}});
+  // Exactly +20% is within a 0.20 tolerance; just above is not.
+  EXPECT_TRUE(gate_compare(base, doc_with({{"lat", 120.0, "", MetricGoal::kLowerIsBetter}}),
+                           {.tolerance = 0.20})
+                  .ok());
+  EXPECT_FALSE(gate_compare(base, doc_with({{"lat", 120.1, "", MetricGoal::kLowerIsBetter}}),
+                            {.tolerance = 0.20})
+                   .ok());
+}
+
+TEST(PerfGate, ExactMetricDriftFailsTinyNoisePasses) {
+  const auto base = doc_with({{"cell0.requests", 1497.0, "", MetricGoal::kExact}});
+  EXPECT_TRUE(gate_compare(base, doc_with({{"cell0.requests", 1497.0, "", MetricGoal::kExact}}))
+                  .ok());
+  // Sub-float-noise wobble is tolerated ...
+  EXPECT_TRUE(gate_compare(base, doc_with({{"cell0.requests", 1497.0 * (1.0 + 1e-12), "",
+                                            MetricGoal::kExact}}))
+                  .ok());
+  // ... a whole unit is a determinism regression.
+  const GateResult drift =
+      gate_compare(base, doc_with({{"cell0.requests", 1498.0, "", MetricGoal::kExact}}));
+  EXPECT_FALSE(drift.ok());
+  EXPECT_EQ(drift.findings[0].verdict, GateVerdict::kRegression);
+}
+
+TEST(PerfGate, InfoMetricsNeverGate) {
+  const auto base = doc_with({{"peak_rss_bytes", 1e6, "bytes", MetricGoal::kInfo}});
+  const auto current = doc_with({{"peak_rss_bytes", 9e9, "bytes", MetricGoal::kInfo}});
+  EXPECT_TRUE(gate_compare(base, current).ok());
+}
+
+TEST(PerfGate, NewMetricPassesMissingMetricFails) {
+  const auto base = doc_with({{"old", 1.0, "", MetricGoal::kLowerIsBetter}});
+  const auto current = doc_with({{"new", 1.0, "", MetricGoal::kLowerIsBetter}});
+  const GateResult result = gate_compare(base, current);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(find(result, "old")->verdict, GateVerdict::kMissing);
+  EXPECT_EQ(find(result, "new")->verdict, GateVerdict::kNewMetric);
+
+  // A strictly additive current run keeps the gate green.
+  const auto grown = doc_with({{"old", 1.0, "", MetricGoal::kLowerIsBetter},
+                               {"new", 1.0, "", MetricGoal::kLowerIsBetter}});
+  EXPECT_TRUE(gate_compare(base, grown).ok());
+}
+
+TEST(PerfGate, ZeroBaselineDoesNotDivideByZero) {
+  const auto base = doc_with({{"failed", 0.0, "", MetricGoal::kExact}});
+  EXPECT_TRUE(gate_compare(base, doc_with({{"failed", 0.0, "", MetricGoal::kExact}})).ok());
+  EXPECT_FALSE(gate_compare(base, doc_with({{"failed", 2.0, "", MetricGoal::kExact}})).ok());
+}
+
+TEST(PerfGate, SummaryMentionsEveryFindingAndVerdict) {
+  const auto base = doc_with({{"lat", 100.0, "", MetricGoal::kLowerIsBetter}});
+  const auto current = doc_with({{"lat", 200.0, "", MetricGoal::kLowerIsBetter}});
+  const GateResult result = gate_compare(base, current);
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("lat"), std::string::npos);
+  EXPECT_NE(summary.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(summary.find("FAIL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sqos
