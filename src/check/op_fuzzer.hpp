@@ -69,7 +69,7 @@ struct FuzzOptions {
   bool inject_overallocation_bug = false;
 };
 
-struct FuzzResult {
+struct [[nodiscard]] FuzzResult {
   std::uint64_t seed = 0;
   FuzzOptions options;
   std::vector<FuzzOp> schedule;

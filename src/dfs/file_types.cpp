@@ -36,6 +36,7 @@ const FileMeta& FileDirectory::get(FileId id) const {
 
 FileId FileDirectory::next_id() const {
   FileId max_id = 0;
+  // sqos-lint: allow(no-unordered-iteration): order-insensitive max reduction
   for (const auto& [id, _] : by_id_) max_id = std::max(max_id, id);
   return max_id + 1;
 }

@@ -23,6 +23,8 @@ void MetadataManager::handle_resource_update(const RegisterMsg& msg) {
     // Known RM: reset its replica entries to the reported disk truth. This
     // is the anti-entropy step that heals commit/delete messages lost to
     // partitions or crashes.
+    // sqos-lint: allow(no-unordered-iteration): per-entry erase; the visit
+    // order cannot leak — no events or messages are produced here.
     for (auto& [_, holders] : replicas_) holders.erase(msg.rm);
     rms_[it->second] = RmInfo{msg.rm, msg.dispatched_bandwidth, msg.disk_capacity};
   } else {
@@ -85,6 +87,7 @@ DeleteReplyMsg MetadataManager::handle_delete_request(const DeleteRequestMsg& ms
 
 std::vector<FileId> MetadataManager::surplus_files_of(net::NodeId rm, std::uint32_t floor) const {
   std::vector<FileId> out;
+  // sqos-lint: allow(no-unordered-iteration): filtered ids are sorted below
   for (const auto& [file, holders] : replicas_) {
     if (holders.size() > floor && holders.contains(rm)) out.push_back(file);
   }
@@ -127,6 +130,7 @@ Bandwidth MetadataManager::rm_bandwidth(net::NodeId rm) const {
 std::vector<FileId> MetadataManager::known_files() const {
   std::vector<FileId> out;
   out.reserve(replicas_.size());
+  // sqos-lint: allow(no-unordered-iteration): filtered ids are sorted below
   for (const auto& [file, holders] : replicas_) {
     if (!holders.empty()) out.push_back(file);
   }
@@ -136,6 +140,7 @@ std::vector<FileId> MetadataManager::known_files() const {
 
 std::size_t MetadataManager::total_replicas() const {
   std::size_t total = 0;
+  // sqos-lint: allow(no-unordered-iteration): order-insensitive sum reduction
   for (const auto& [_, holders] : replicas_) total += holders.size();
   return total;
 }

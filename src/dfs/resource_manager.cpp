@@ -285,6 +285,8 @@ void ResourceManager::fail() {
   // occupation statistics derived from them, survive the reboot — except
   // torn writes, whose reserved space is rolled back like a journal replay
   // so a recovery re-registration can never advertise a half-written file.
+  // sqos-lint: allow(no-unordered-iteration): per-file rollback; removals
+  // commute and nothing observable (events, messages) depends on the order.
   for (const FileId f : pending_writes_) {
     if (disk_.contains(f)) (void)disk_.remove(f);
   }

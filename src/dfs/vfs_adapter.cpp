@@ -109,6 +109,7 @@ void VfsAdapter::read(std::uint64_t fd, Bytes amount,
 void VfsAdapter::destroy() {
   std::vector<std::uint64_t> fds;
   fds.reserve(sessions_.size());
+  // sqos-lint: allow(no-unordered-iteration): collected fds are sorted below
   for (const auto& [fd, _] : sessions_) fds.push_back(fd);
   std::sort(fds.begin(), fds.end());  // deterministic release order
   for (const std::uint64_t fd : fds) release(fd);

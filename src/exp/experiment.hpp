@@ -53,7 +53,7 @@ struct TimeSeriesPoint {
   double value_bps = 0.0;
 };
 
-struct ExperimentResult {
+struct [[nodiscard]] ExperimentResult {
   // Scalar QoS metrics.
   double fail_rate = 0.0;             // firm RT criterion
   double overallocate_ratio = 0.0;    // soft RT criterion (ΣS_OA / ΣS_TA)
@@ -111,7 +111,7 @@ struct MetricSpread {
   std::size_t seeds = 0;
 };
 
-struct SpreadResult {
+struct [[nodiscard]] SpreadResult {
   MetricSpread fail_rate;
   MetricSpread overallocate_ratio;
 };

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_fn.hpp"
 #include "util/sim_time.hpp"
 
 namespace sqos::sim {
@@ -60,8 +60,9 @@ class Simulator {
   /// Observation hook run after every executed event (same simulated time as
   /// the event, with its effects applied). One hook at a time; pass {} to
   /// clear. Installed by the invariant auditor — the hook must not schedule
-  /// or cancel events, only observe.
-  using PostEventHook = std::function<void()>;
+  /// or cancel events, only observe. InlineFn rather than std::function: the
+  /// hook check sits on the per-event hot path.
+  using PostEventHook = InlineFn;
   void set_post_event_hook(PostEventHook hook) { post_event_ = std::move(hook); }
 
  private:

@@ -1,5 +1,7 @@
 #include "storage/disk_store.hpp"
 
+#include <algorithm>
+
 namespace sqos::storage {
 
 Status DiskStore::add(std::uint64_t file, Bytes size) {
@@ -33,7 +35,11 @@ Bytes DiskStore::size_of(std::uint64_t file) const {
 std::vector<std::uint64_t> DiskStore::file_keys() const {
   std::vector<std::uint64_t> keys;
   keys.reserve(files_.size());
+  // sqos-lint: allow(no-unordered-iteration): collected keys are sorted below
   for (const auto& [k, _] : files_) keys.push_back(k);
+  // Callers feed this list into registration messages and audits; sorted
+  // output keeps those paths independent of hash-table layout.
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 

@@ -283,14 +283,17 @@ std::string BenchReport::to_json() const {
   append_escaped(out, kSchema);
   out += ",\n  \"binary\": ";
   append_escaped(out, binary_);
-  out += ",\n  \"meta\": {";
+  // Every document self-reports whether its producer was instrumented, so
+  // the perf gate can refuse sanitized timings without trusting the caller.
+  out += ",\n  \"meta\": {\n    \"sanitized\": ";
+  append_escaped(out, sanitized_build() ? "1" : "0");
   for (std::size_t i = 0; i < meta_.size(); ++i) {
-    out += i == 0 ? "\n    " : ",\n    ";
+    out += ",\n    ";
     append_escaped(out, meta_[i].first);
     out += ": ";
     append_escaped(out, meta_[i].second);
   }
-  out += meta_.empty() ? "},\n" : "\n  },\n";
+  out += "\n  },\n";
   out += "  \"metrics\": [";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     const BenchMetric& m = metrics_[i];

@@ -53,6 +53,25 @@ enum class MetricGoal : std::uint8_t {
   return "info";
 }
 
+/// True when this binary was compiled under a sanitizer (an SQOS_SANITIZE
+/// preset, or raw -fsanitize flags GCC/Clang advertise via macros).
+/// Instrumented timings are 2-20x off clean ones, so every bench document
+/// carries this in its meta and the perf gate refuses to gate on it.
+[[nodiscard]] constexpr bool sanitized_build() {
+#if defined(SQOS_SANITIZE_BUILD) || defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer) || __has_feature(undefined_behavior_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 struct BenchMetric {
   std::string name;
   double value = 0.0;
@@ -123,7 +142,7 @@ struct GateFinding {
   [[nodiscard]] std::string to_string() const;
 };
 
-struct GateResult {
+struct [[nodiscard]] GateResult {
   std::vector<GateFinding> findings;
 
   /// True when no metric regressed and none disappeared.

@@ -1,0 +1,23 @@
+// Fixture: *Result/*Status/*Error types missing [[nodiscard]].
+#pragma once
+
+namespace fixture {
+
+struct ParseResult {                            // line 6: struct *Result
+  int value = 0;
+};
+
+class CommitStatus {                            // line 10: class *Status
+ public:
+  bool ok = false;
+};
+
+struct [[nodiscard]] GoodResult {               // marked: must NOT fire
+  int value = 0;
+};
+
+class ParseError;                               // fwd decl: must NOT fire
+
+enum class WriteStatus { kOk, kFailed };        // enum class: must NOT fire
+
+}  // namespace fixture

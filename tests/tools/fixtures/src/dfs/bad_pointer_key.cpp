@@ -1,0 +1,19 @@
+// Fixture: pointer-keyed ordered containers iterate in address order.
+#include <map>
+#include <set>
+#include <string>
+
+namespace fixture {
+
+struct Node {
+  int id = 0;
+};
+
+struct Registry {
+  std::map<Node*, int> weights_;                // line 13: map<T*, ...>
+  std::set<const Node*> members_;               // line 14: set<const T*>
+  std::map<int, Node*> by_id_;                  // pointer VALUE: must NOT fire
+  std::map<std::string, int> by_name_;          // ordinary key: must NOT fire
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: unseeded randomness sources the no-unseeded-rng rule must catch.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+
+int roll() {
+  std::random_device rd;                        // line 8: random_device
+  std::mt19937 gen(rd());                       // line 9: mt19937
+  std::default_random_engine fallback;          // line 10: default engine
+  (void)fallback;
+  int noise = rand();                           // line 12: rand(
+  srand(42);                                    // line 13: srand(
+  // brand() and operand( must not fire: word boundary on the left.
+  return static_cast<int>(gen()) + noise;
+}
+
+}  // namespace fixture

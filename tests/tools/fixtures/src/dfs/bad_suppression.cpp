@@ -1,0 +1,11 @@
+// Fixture: a suppression without a justification does NOT suppress — the
+// original finding stays and bad-suppression is added at the comment line.
+#include <cstdlib>
+
+namespace fixture {
+
+int noisy() {
+  return rand();  // sqos-lint: allow(no-unseeded-rng)
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: justified suppressions silence findings — this file must lint
+// clean. Exercises trailing-comment, line-above, and file-scope forms.
+// sqos-lint: allow-file(no-unseeded-rng): fixture demonstrating file-scope suppression
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fixture {
+
+struct Quiet {
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+
+  std::uint64_t sum() {
+    std::uint64_t total = 0;
+    // sqos-lint: allow(no-unordered-iteration): order-insensitive sum reduction
+    for (const auto& [k, v] : cells_) total += v;
+    total += static_cast<std::uint64_t>(rand());  // covered by allow-file above
+    return total;
+  }
+};
+
+}  // namespace fixture

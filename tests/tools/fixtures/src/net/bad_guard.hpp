@@ -1,0 +1,9 @@
+// Fixture: header without #pragma once (or an #ifndef guard) must fire on
+// its first code line.
+#include <cstdint>
+
+namespace fixture {
+
+inline std::uint32_t checksum(std::uint32_t x) { return x * 2654435761u; }
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: std::function in a hot-path directory (src/sim) must fire.
+#include <functional>
+
+namespace fixture {
+
+struct Kernel {
+  std::function<void()> hook_;                  // line 7: member
+  void set(std::function<void()> h) {           // line 8: parameter
+    hook_ = std::move(h);
+  }
+};
+
+}  // namespace fixture

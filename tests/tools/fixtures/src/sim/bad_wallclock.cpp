@@ -1,0 +1,20 @@
+// Fixture: every wall-clock source the no-wallclock rule must catch.
+// Line numbers are asserted exactly by lint_tool_test.cpp — keep stable.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long now_ns() {
+  auto t = std::chrono::system_clock::now();               // line 9: system_clock
+  auto s = std::chrono::steady_clock::now();               // line 10: steady_clock
+  (void)s;
+  long raw = time(nullptr);                                // line 12: time(
+  raw += clock();                                          // line 13: clock(
+  // A mention inside a comment must NOT fire: system_clock, time(NULL).
+  const char* label = "system_clock in a string must not fire";
+  (void)label;
+  return t.time_since_epoch().count() + raw;
+}
+
+}  // namespace fixture

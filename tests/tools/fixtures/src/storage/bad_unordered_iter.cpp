@@ -1,0 +1,24 @@
+// Fixture: unordered-container iteration the rule must catch in kernel dirs.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+struct Table {
+  std::unordered_map<std::uint64_t, std::uint64_t> cells_;
+  std::unordered_set<std::uint64_t> live_;
+  std::vector<std::uint64_t> ordered_;
+
+  std::uint64_t drain() {
+    std::uint64_t sum = 0;
+    for (const auto& [k, v] : cells_) sum += v;             // line 16: range-for
+    for (auto it = live_.begin(); it != live_.end(); ++it)  // line 17: .begin()
+      sum += *it;
+    for (const auto v : ordered_) sum += v;  // vector: must NOT fire
+    return sum;
+  }
+};
+
+}  // namespace fixture

@@ -35,6 +35,9 @@ TEST(BenchJson, ReportRoundTripsThroughParser) {
   const BenchDoc& doc = parsed.value();
   EXPECT_EQ(doc.binary, "bench_micro_core");
   EXPECT_EQ(doc.meta.at("build"), "release");
+  // Every document self-reports instrumentation; this test binary is built
+  // with whatever flags the suite uses, so just assert presence/consistency.
+  EXPECT_EQ(doc.meta.at("sanitized"), sanitized_build() ? "1" : "0");
   ASSERT_EQ(doc.metrics.size(), 4u);
   const BenchMetric* m = doc.find("ns_per_event");
   ASSERT_NE(m, nullptr);

@@ -66,6 +66,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Sanitizer-instrumented binaries run 2-20x slower than clean ones; their
+  // timings say nothing about regressions. Skip rather than fail so the
+  // sanitizer CI jobs can share scripts with perf-smoke without gating.
+  const auto sanitized = current.value().meta.find("sanitized");
+  if (sanitized != current.value().meta.end() && sanitized->second == "1") {
+    std::fprintf(stdout, "perf_gate: current run was built with sanitizers; "
+                         "timings are not comparable to clean baselines — skipping gate\n");
+    return 0;
+  }
+
   auto baseline = load_bench_json(baseline_path);
   if (!baseline.is_ok()) {
     // No baseline is not a regression: first run on a fresh machine or a new
