@@ -5,6 +5,8 @@
 // selection + replication recover most QoS, (c) global over-subscription
 // where no placement policy can help and only admission control degrades
 // gracefully.
+#include <array>
+
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
@@ -22,22 +24,37 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> user_counts =
       args.quick ? std::vector<std::size_t>{128, 512}
                  : std::vector<std::size_t>{64, 128, 256, 384, 512, 768};
+  // All four (mode × replication) variants of every user count are
+  // independent cells: fan the whole grid out, render afterwards.
+  bench::CellSweep sweep{args};
+  std::vector<std::array<std::size_t, 4>> cells;
   for (const std::size_t users : user_counts) {
     exp::ExperimentParams params;
     params.users = users;
     params.policy = core::PolicyWeights::p100();
+    std::array<std::size_t, 4> row_cells{};
 
     params.mode = core::AllocationMode::kFirm;
     params.replication = core::ReplicationConfig::static_only();
-    const exp::ExperimentResult firm_static = bench::run(args, params);
+    row_cells[0] = sweep.submit(params);
     params.replication = core::ReplicationConfig::rep(1, 3);
-    const exp::ExperimentResult firm_rep = bench::run(args, params);
+    row_cells[1] = sweep.submit(params);
 
     params.mode = core::AllocationMode::kSoft;
     params.replication = core::ReplicationConfig::static_only();
-    const exp::ExperimentResult soft_static = bench::run(args, params);
+    row_cells[2] = sweep.submit(params);
     params.replication = core::ReplicationConfig::rep(1, 3);
-    const exp::ExperimentResult soft_rep = bench::run(args, params);
+    row_cells[3] = sweep.submit(params);
+    cells.push_back(row_cells);
+  }
+  sweep.run();
+
+  for (std::size_t ui = 0; ui < user_counts.size(); ++ui) {
+    const std::size_t users = user_counts[ui];
+    const exp::ExperimentResult& firm_static = sweep.result(cells[ui][0]);
+    const exp::ExperimentResult& firm_rep = sweep.result(cells[ui][1]);
+    const exp::ExperimentResult& soft_static = sweep.result(cells[ui][2]);
+    const exp::ExperimentResult& soft_rep = sweep.result(cells[ui][3]);
 
     table.add_row({std::to_string(users), format_percent(firm_static.fail_rate, 2),
                    format_percent(firm_rep.fail_rate, 2),

@@ -3,9 +3,14 @@
 // Every binary accepts `key=value` overrides:
 //   seeds=N     runs per configuration, averaged (default 3)
 //   users=N     override the user count where applicable
+//   jobs=N      worker threads for the (config × seed) fan-out (default:
+//               hardware concurrency; jobs=1 = legacy serial). Outputs are
+//               bit-identical at every jobs value — the parallel runner
+//               merges in submission order.
 //   csv=path    mirror the table/series to a CSV file
 //   json=path   emit an sqos-bench-v1 document (one exact metric per table
-//               cell plus per-cell wall time) for tools/perf_gate
+//               cell plus per-cell wall time and sweep-level speedup
+//               aggregates) for tools/perf_gate
 //   quick=1     single seed, reduced sweep (smoke-test mode)
 #pragma once
 
@@ -13,9 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/parallel_runner.hpp"
 #include "util/bench_json.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
@@ -26,18 +33,21 @@ namespace sqos::bench {
 struct BenchArgs {
   Config cfg;
   std::size_t seeds = 3;
+  std::size_t jobs = 1;
   bool quick = false;
   std::string csv_path;
   std::uint64_t base_seed = 1;
 };
 
-/// Process-wide JSON sink: every run() appends its cell's metrics here, and
-/// an atexit hook writes the document once the sweep finishes. Keeping the
+/// Process-wide JSON sink: every cell appends its metrics here, and an
+/// atexit hook writes the document once the sweep finishes. Keeping the
 /// sink out of BenchArgs means no table binary needs json-specific code.
 struct JsonSink {
   std::string path;
   BenchReport report{""};
   std::size_t cells = 0;
+  double cells_wall_ms = 0.0;  // sum of per-cell compute times (serial cost)
+  std::chrono::steady_clock::time_point sweep_start;
 };
 
 inline JsonSink& json_sink() {
@@ -48,6 +58,21 @@ inline JsonSink& json_sink() {
 inline void flush_json_sink() {
   JsonSink& sink = json_sink();
   if (sink.path.empty()) return;
+  if (sink.cells > 0) {
+    // Aggregate speedup evidence: cells_wall_ms is what the sweep would
+    // have cost serially, wall_ms is what it actually took with `jobs`
+    // workers. Both are goal=info — the perf gate never compares timings
+    // across differently-parallel runs, only the exact cells.
+    const double wall_ms = std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+                               std::chrono::steady_clock::now() - sink.sweep_start)
+                               .count();
+    sink.report.add("sweep.wall_ms", wall_ms, "ms", MetricGoal::kInfo);
+    sink.report.add("sweep.cells_wall_ms", sink.cells_wall_ms, "ms", MetricGoal::kInfo);
+    if (wall_ms > 0.0) {
+      sink.report.add("sweep.parallel_speedup", sink.cells_wall_ms / wall_ms, "x",
+                      MetricGoal::kInfo);
+    }
+  }
   const Status s = sink.report.write_file(sink.path);
   if (!s.is_ok()) {
     std::fprintf(stderr, "%s\n", s.to_string().c_str());
@@ -68,6 +93,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.seeds = static_cast<std::size_t>(args.cfg.get_int("seeds", args.quick ? 1 : 3));
   args.csv_path = args.cfg.get_string("csv", "");
   args.base_seed = static_cast<std::uint64_t>(args.cfg.get_int("seed", 1));
+  args.jobs = static_cast<std::size_t>(
+      args.cfg.get_int("jobs", static_cast<std::int64_t>(exp::default_jobs())));
+  if (args.jobs == 0) args.jobs = exp::default_jobs();
 
   const std::string json_path = args.cfg.get_string("json", "");
   if (!json_path.empty()) {
@@ -80,7 +108,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
     sink.report = BenchReport{std::move(binary)};
     sink.report.set_meta("seeds", std::to_string(args.seeds));
     sink.report.set_meta("seed", std::to_string(args.base_seed));
+    sink.report.set_meta("jobs", std::to_string(args.jobs));
     sink.report.set_meta("mode", args.quick ? "quick" : "full");
+    sink.sweep_start = std::chrono::steady_clock::now();
     std::atexit(flush_json_sink);
   }
   return args;
@@ -101,34 +131,100 @@ inline std::vector<core::ReplicationConfig> strategy_sweep() {
           core::ReplicationConfig::rep(1, 8), core::ReplicationConfig::rep(1, 3)};
 }
 
+/// Append one cell's metrics to the JSON sink. Cells are numbered in the
+/// order this is called, so callers must invoke it in submission order.
+inline void record_cell_json(const exp::ExperimentParams& params,
+                             const exp::ExperimentResult& result, double wall_ms) {
+  JsonSink& sink = json_sink();
+  if (sink.path.empty()) return;
+  // Simulation outputs are goal=exact: the run is deterministic for a
+  // fixed seed set, so any drift is a determinism regression, not noise.
+  const std::string cell = "cell" + std::to_string(sink.cells++) + ".";
+  auto& r = sink.report;
+  r.add(cell + "users", static_cast<double>(params.users), "", MetricGoal::kInfo);
+  r.add(cell + "requests", static_cast<double>(result.requests), "", MetricGoal::kExact);
+  r.add(cell + "completed", static_cast<double>(result.completed), "", MetricGoal::kExact);
+  r.add(cell + "failed", static_cast<double>(result.failed), "", MetricGoal::kExact);
+  r.add(cell + "fail_rate", result.fail_rate, "", MetricGoal::kExact);
+  r.add(cell + "overallocate_ratio", result.overallocate_ratio, "", MetricGoal::kExact);
+  r.add(cell + "control_messages", static_cast<double>(result.control_messages), "",
+        MetricGoal::kExact);
+  r.add(cell + "control_bytes", static_cast<double>(result.control_bytes), "bytes",
+        MetricGoal::kExact);
+  r.add(cell + "wall_ms", wall_ms, "ms", MetricGoal::kInfo);
+  sink.cells_wall_ms += wall_ms;
+}
+
+/// Run one cell immediately (figures and single-config ablations). The
+/// per-seed runs fan out over `args.jobs` workers; the seed-ordered merge
+/// keeps the averaged result bit-identical to a serial run.
 inline exp::ExperimentResult run(const BenchArgs& args, exp::ExperimentParams params) {
   params.seed = args.base_seed;
   const auto t0 = std::chrono::steady_clock::now();
-  exp::ExperimentResult result = exp::run_averaged(params, args.seeds);
+  exp::ExperimentResult result = exp::run_averaged(params, args.seeds, args.jobs);
   const auto t1 = std::chrono::steady_clock::now();
-
-  JsonSink& sink = json_sink();
-  if (!sink.path.empty()) {
-    // Simulation outputs are goal=exact: the run is deterministic for a
-    // fixed seed set, so any drift is a determinism regression, not noise.
-    const std::string cell = "cell" + std::to_string(sink.cells++) + ".";
-    auto& r = sink.report;
-    r.add(cell + "users", static_cast<double>(params.users), "", MetricGoal::kInfo);
-    r.add(cell + "requests", static_cast<double>(result.requests), "", MetricGoal::kExact);
-    r.add(cell + "completed", static_cast<double>(result.completed), "", MetricGoal::kExact);
-    r.add(cell + "failed", static_cast<double>(result.failed), "", MetricGoal::kExact);
-    r.add(cell + "fail_rate", result.fail_rate, "", MetricGoal::kExact);
-    r.add(cell + "overallocate_ratio", result.overallocate_ratio, "", MetricGoal::kExact);
-    r.add(cell + "control_messages", static_cast<double>(result.control_messages), "",
-          MetricGoal::kExact);
-    r.add(cell + "control_bytes", static_cast<double>(result.control_bytes), "bytes",
-          MetricGoal::kExact);
-    const double wall_ms =
-        std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0).count();
-    r.add(cell + "wall_ms", wall_ms, "ms", MetricGoal::kInfo);
-  }
+  const double wall_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0).count();
+  record_cell_json(params, result, wall_ms);
   return result;
 }
+
+/// Deferred grid execution for the table sweeps: binaries submit every cell
+/// of the (config × seed) grid up front, fan the independent cells out over
+/// a fixed-size worker pool, then render rows from the stored results.
+/// submit() order defines the result order *and* the JSON cell order, so a
+/// parallel sweep's document is byte-identical to the serial one (only the
+/// goal=info wall-time metrics differ).
+class CellSweep {
+ public:
+  explicit CellSweep(const BenchArgs& args) : args_{args} {}
+
+  /// Queue one cell; returns its handle (stable submission index).
+  [[nodiscard]] std::size_t submit(exp::ExperimentParams params) {
+    params.seed = args_.base_seed;
+    cells_.push_back(Cell{std::move(params), exp::ExperimentResult{}, 0.0});
+    return cells_.size() - 1;
+  }
+
+  /// Execute every queued cell `jobs`-wide. Each cell's seeds run serially
+  /// inside its worker (the grid supplies the parallelism), its wall time
+  /// is measured on the worker, and the JSON cells are appended strictly in
+  /// submission order after the pool drains.
+  void run() {
+    exp::ParallelRunner pool{args_.jobs};
+    for (Cell& cell : cells_) {
+      pool.submit([this, &cell] {
+        const auto t0 = std::chrono::steady_clock::now();
+        cell.result = exp::run_averaged(cell.params, args_.seeds, 1);
+        const auto t1 = std::chrono::steady_clock::now();
+        cell.wall_ms =
+            std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(t1 - t0)
+                .count();
+      });
+    }
+    pool.wait_idle();
+    for (const Cell& cell : cells_) record_cell_json(cell.params, cell.result, cell.wall_ms);
+  }
+
+  /// Result of the cell `submit()` returned `id` for (valid after run()).
+  [[nodiscard]] const exp::ExperimentResult& result(std::size_t id) const {
+    if (id >= cells_.size()) {
+      std::fprintf(stderr, "CellSweep: bad cell handle %zu\n", id);
+      std::exit(1);
+    }
+    return cells_[id].result;
+  }
+
+ private:
+  struct Cell {
+    exp::ExperimentParams params;
+    exp::ExperimentResult result;
+    double wall_ms = 0.0;
+  };
+
+  BenchArgs args_;
+  std::vector<Cell> cells_;
+};
 
 inline CsvWriter open_csv(const BenchArgs& args, const std::vector<std::string>& header) {
   auto w = CsvWriter::open(args.csv_path, header);
@@ -143,8 +239,8 @@ inline CsvWriter open_csv(const BenchArgs& args, const std::vector<std::string>&
 /// the paper's published value is printed alongside where available.
 inline void print_preamble(const char* experiment, const char* metric, const BenchArgs& args) {
   std::printf("== storageqos reproduction: %s ==\n", experiment);
-  std::printf("metric: %s | seeds averaged: %zu%s\n\n", metric, args.seeds,
-              args.quick ? " (quick mode)" : "");
+  std::printf("metric: %s | seeds averaged: %zu | jobs: %zu%s\n\n", metric, args.seeds,
+              args.jobs, args.quick ? " (quick mode)" : "");
 }
 
 }  // namespace sqos::bench

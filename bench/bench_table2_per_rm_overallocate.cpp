@@ -13,14 +13,20 @@ int main(int argc, char** argv) {
   CsvWriter csv = bench::open_csv(args, {"policy", "rm", "overallocate_ratio"});
 
   const auto policies = core::PolicyWeights::paper_set();
-  std::vector<std::vector<stats::RmQosSummary>> per_policy;
+
+  bench::CellSweep sweep{args};
+  std::vector<std::size_t> cells;
   for (const auto& policy : policies) {
     exp::ExperimentParams params;
     params.users = users;
     params.mode = core::AllocationMode::kSoft;
     params.policy = policy;
-    per_policy.push_back(bench::run(args, params).per_rm);
+    cells.push_back(sweep.submit(params));
   }
+  sweep.run();
+
+  std::vector<std::vector<stats::RmQosSummary>> per_policy;
+  for (const std::size_t cell : cells) per_policy.push_back(sweep.result(cell).per_rm);
 
   // Two half-tables like the paper (RM1-8, RM9-16).
   for (int half = 0; half < 2; ++half) {

@@ -22,14 +22,25 @@ int main(int argc, char** argv) {
   CsvWriter csv = bench::open_csv(args, {"policy", "users", "fail_rate"});
 
   const auto policies = core::PolicyWeights::paper_set();
+
+  bench::CellSweep sweep{args};
+  std::vector<std::vector<std::size_t>> cells(policies.size());
   for (std::size_t pi = 0; pi < policies.size(); ++pi) {
-    std::vector<std::string> row{policies[pi].to_string()};
     for (const std::size_t u : users) {
       exp::ExperimentParams params;
       params.users = u;
       params.mode = core::AllocationMode::kFirm;
       params.policy = policies[pi];
-      const exp::ExperimentResult r = bench::run(args, params);
+      cells[pi].push_back(sweep.submit(params));
+    }
+  }
+  sweep.run();
+
+  for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+    std::vector<std::string> row{policies[pi].to_string()};
+    for (std::size_t uj = 0; uj < users.size(); ++uj) {
+      const std::size_t u = users[uj];
+      const exp::ExperimentResult& r = sweep.result(cells[pi][uj]);
       const std::size_t ui = u == 64 ? 0 : u == 128 ? 1 : u == 192 ? 2 : 3;
       row.push_back(format_percent(r.fail_rate) + " [" + format_double(paper[pi][ui], 3) +
                     "%]");

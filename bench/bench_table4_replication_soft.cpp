@@ -24,16 +24,25 @@ int main(int argc, char** argv) {
   table.set_header(header);
   CsvWriter csv = bench::open_csv(args, {"strategy", "policy", "overallocate_ratio"});
 
+  bench::CellSweep sweep{args};
+  std::vector<std::vector<std::size_t>> cells(strategies.size());
   for (std::size_t si = 0; si < strategies.size(); ++si) {
-    const char* names[] = {"Static replication", "Baseline", "Rep(1, 8)", "Rep(1, 3)"};
-    std::vector<std::string> row{names[si]};
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
       exp::ExperimentParams params;
       params.users = users;
       params.mode = core::AllocationMode::kSoft;
       params.policy = policies[pi];
       params.replication = strategies[si];
-      const exp::ExperimentResult r = bench::run(args, params);
+      cells[si].push_back(sweep.submit(params));
+    }
+  }
+  sweep.run();
+
+  for (std::size_t si = 0; si < strategies.size(); ++si) {
+    const char* names[] = {"Static replication", "Baseline", "Rep(1, 8)", "Rep(1, 3)"};
+    std::vector<std::string> row{names[si]};
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const exp::ExperimentResult& r = sweep.result(cells[si][pi]);
       row.push_back(format_percent(r.overallocate_ratio, 2) + " [" +
                     format_double(paper[si][pi], 2) + "%]");
       csv.row({strategies[si].strategy_name(), policies[pi].to_string(),

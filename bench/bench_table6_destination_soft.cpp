@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
   table.set_header({"destination", "(0,0,0)", "(1,0,0)"});
   CsvWriter csv = bench::open_csv(args, {"destination", "policy", "overallocate_ratio"});
 
+  bench::CellSweep sweep{args};
+  std::vector<std::vector<std::size_t>> cells(3);
   for (std::size_t si = 0; si < 3; ++si) {
-    std::vector<std::string> row{names[si]};
     for (std::size_t pi = 0; pi < policies.size(); ++pi) {
       exp::ExperimentParams params;
       params.users = users;
@@ -32,7 +33,15 @@ int main(int argc, char** argv) {
       params.policy = policies[pi];
       params.replication = core::ReplicationConfig::rep(1, 3);
       params.replication.destination = strategies[si];
-      const exp::ExperimentResult r = bench::run(args, params);
+      cells[si].push_back(sweep.submit(params));
+    }
+  }
+  sweep.run();
+
+  for (std::size_t si = 0; si < 3; ++si) {
+    std::vector<std::string> row{names[si]};
+    for (std::size_t pi = 0; pi < policies.size(); ++pi) {
+      const exp::ExperimentResult& r = sweep.result(cells[si][pi]);
       row.push_back(format_percent(r.overallocate_ratio, 2) + " [" +
                     format_double(paper[si][pi], 2) + "%]");
       csv.row({std::string{to_string(strategies[si])}, policies[pi].to_string(),

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "dfs/cluster.hpp"
+#include "exp/parallel_runner.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accum.hpp"
 #include "util/table.hpp"
@@ -16,6 +17,19 @@ namespace {
 [[noreturn]] void die(const Status& status, const char* phase) {
   std::fprintf(stderr, "experiment: %s failed: %s\n", phase, status.to_string().c_str());
   std::abort();
+}
+
+/// Fan the per-seed runs out over `jobs` workers and return them indexed by
+/// seed offset. The position-based merge makes every downstream fold
+/// bit-identical to the serial loop it replaced.
+std::vector<ExperimentResult> run_seed_grid(const ExperimentParams& params, std::size_t seeds,
+                                            std::size_t jobs) {
+  ParallelRunner pool{jobs};
+  return pool.map<ExperimentResult>(seeds, [&params](std::size_t s) {
+    ExperimentParams p = params;
+    p.seed = params.seed + s;
+    return run_experiment(p);
+  });
 }
 
 }  // namespace
@@ -134,15 +148,28 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
 }
 
 ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds) {
+  return run_averaged(std::move(params), seeds, 1);
+}
+
+ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds, std::size_t jobs) {
   if (seeds == 0) seeds = 1;
+  std::vector<ExperimentResult> runs = run_seed_grid(params, seeds, jobs);
+  // Fold in seed (submission) order — the arithmetic below is identical to
+  // the serial accumulation loop, so the average is bit-exact at any jobs.
   ExperimentResult avg;
-  const std::uint64_t base_seed = params.seed;
   for (std::size_t s = 0; s < seeds; ++s) {
-    params.seed = base_seed + s;
-    ExperimentResult r = run_experiment(params);
+    ExperimentResult r = std::move(runs[s]);
     if (s == 0) {
       avg = std::move(r);
       continue;
+    }
+    // Seeds must agree on the cluster shape; averaging per-RM metrics across
+    // differently-sized clusters would be silent UB, so fail loudly instead.
+    if (r.per_rm.size() != avg.per_rm.size()) {
+      die(Status::internal("seed " + std::to_string(params.seed + s) + " produced " +
+                           std::to_string(r.per_rm.size()) + " per-RM summaries, expected " +
+                           std::to_string(avg.per_rm.size())),
+          "per-RM averaging");
     }
     avg.fail_rate += r.fail_rate;
     avg.overallocate_ratio += r.overallocate_ratio;
@@ -200,15 +227,17 @@ ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds) {
 }
 
 SpreadResult run_spread(ExperimentParams params, std::size_t seeds) {
+  return run_spread(std::move(params), seeds, 1);
+}
+
+SpreadResult run_spread(ExperimentParams params, std::size_t seeds, std::size_t jobs) {
   if (seeds == 0) seeds = 1;
   StatsAccumulator fail;
   StatsAccumulator over;
-  const std::uint64_t base_seed = params.seed;
+  const std::vector<ExperimentResult> runs = run_seed_grid(params, seeds, jobs);
   for (std::size_t s = 0; s < seeds; ++s) {
-    params.seed = base_seed + s;
-    const ExperimentResult r = run_experiment(params);
-    fail.add(r.fail_rate);
-    over.add(r.overallocate_ratio);
+    fail.add(runs[s].fail_rate);
+    over.add(runs[s].overallocate_ratio);
   }
   const auto spread = [seeds](const StatsAccumulator& a) {
     MetricSpread m;

@@ -96,6 +96,12 @@ struct [[nodiscard]] ExperimentResult {
 /// Run `seeds` experiments differing only in seed and average the scalar and
 /// per-RM metrics (the counters are averaged too, rounded). Series come from
 /// the first seed.
+///
+/// `jobs` fans the independent per-seed runs out over a ParallelRunner;
+/// results are merged in seed order, so the average is bit-identical at
+/// every jobs value (jobs=1 is the legacy serial path, 0 = all cores).
+[[nodiscard]] ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds,
+                                            std::size_t jobs);
 [[nodiscard]] ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds);
 
 /// One-screen human-readable summary (scalar metrics, workload accounting,
@@ -118,7 +124,11 @@ struct [[nodiscard]] SpreadResult {
 
 /// Run `seeds` experiments and report the metric distributions — the paper
 /// reports single runs, so the spread quantifies how much weight a single
-/// cell can carry.
+/// cell can carry. `jobs` parallelizes across seeds exactly like
+/// run_averaged: the accumulators fold in seed order, so the spread is
+/// bit-identical at every jobs value.
+[[nodiscard]] SpreadResult run_spread(ExperimentParams params, std::size_t seeds,
+                                      std::size_t jobs);
 [[nodiscard]] SpreadResult run_spread(ExperimentParams params, std::size_t seeds);
 
 }  // namespace sqos::exp

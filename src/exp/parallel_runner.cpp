@@ -1,0 +1,118 @@
+#include "exp/parallel_runner.hpp"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+namespace sqos::exp {
+
+std::size_t default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+struct ParallelRunner::Impl {
+  explicit Impl(std::size_t jobs)
+      : capacity{jobs * 2 < 8 ? std::size_t{8} : jobs * 2} {
+    workers.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) {
+      workers.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      const std::lock_guard<std::mutex> lock{m};
+      stopping = true;
+    }
+    cv_work.notify_all();
+    // std::jthread joins on destruction; workers drain the queue first.
+  }
+
+  void submit(std::function<void()> task) {
+    {
+      std::unique_lock<std::mutex> lock{m};
+      cv_room.wait(lock, [this] { return queue.size() < capacity; });
+      queue.emplace_back(next_seq++, std::move(task));
+    }
+    cv_work.notify_one();
+  }
+
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock{m};
+    cv_idle.wait(lock, [this] { return completed == next_seq; });
+    if (first_error) {
+      std::exception_ptr err = std::exchange(first_error, nullptr);
+      first_error_seq = std::numeric_limits<std::uint64_t>::max();
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::unique_lock<std::mutex> lock{m};
+      cv_work.wait(lock, [this] { return stopping || !queue.empty(); });
+      if (queue.empty()) return;  // stopping and fully drained
+      auto [seq, task] = std::move(queue.front());
+      queue.pop_front();
+      cv_room.notify_one();
+      lock.unlock();
+
+      std::exception_ptr err;
+      try {
+        task();
+      } catch (...) {
+        err = std::current_exception();
+      }
+
+      lock.lock();
+      if (err != nullptr && seq < first_error_seq) {
+        first_error_seq = seq;
+        first_error = err;
+      }
+      ++completed;
+      if (completed == next_seq) cv_idle.notify_all();
+    }
+  }
+
+  std::mutex m;
+  std::condition_variable cv_work;  // queue gained a task (or stopping)
+  std::condition_variable cv_room;  // queue dropped below capacity
+  std::condition_variable cv_idle;  // every submitted task completed
+  std::deque<std::pair<std::uint64_t, std::function<void()>>> queue;
+  const std::size_t capacity;
+  std::uint64_t next_seq = 0;   // tasks submitted (also the next sequence id)
+  std::uint64_t completed = 0;  // tasks finished (ok or failed)
+  bool stopping = false;
+  std::uint64_t first_error_seq = std::numeric_limits<std::uint64_t>::max();
+  std::exception_ptr first_error;
+  std::vector<std::jthread> workers;  // last member: joins before state dies
+};
+
+ParallelRunner::ParallelRunner(std::size_t jobs)
+    : jobs_{jobs == 0 ? default_jobs() : jobs} {
+  if (jobs_ > 1) impl_ = std::make_unique<Impl>(jobs_);
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+void ParallelRunner::submit(std::function<void()> task) {
+  if (impl_ == nullptr) {
+    task();  // serial regime: inline, exceptions propagate to the caller
+    return;
+  }
+  impl_->submit(std::move(task));
+}
+
+void ParallelRunner::wait_idle() {
+  if (impl_ != nullptr) impl_->wait_idle();
+}
+
+}  // namespace sqos::exp

@@ -404,6 +404,11 @@ GateResult gate_compare(const BenchDoc& baseline, const BenchDoc& current,
     f.metric = base.name;
     f.baseline = base.value;
     if (cur == nullptr) {
+      // Info metrics (wall times, speedups, jobs counts) are environment
+      // facts, not contract: a baseline recorded with them must still gate
+      // cleanly against a run that lacks them (and vice versa via the
+      // kNewMetric advisory below).
+      if (base.goal == MetricGoal::kInfo) continue;
       f.verdict = GateVerdict::kMissing;
       result.findings.push_back(std::move(f));
       continue;

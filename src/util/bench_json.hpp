@@ -129,7 +129,8 @@ enum class GateVerdict : std::uint8_t {
   kImprovement,  // better than baseline beyond tolerance
   kRegression,   // worse than baseline beyond tolerance (fails the gate)
   kNewMetric,    // present only in the current run (informational)
-  kMissing,      // present only in the baseline (fails the gate)
+  kMissing,      // present only in the baseline (fails the gate; info-goal
+                 // metrics such as wall times are exempt and skipped)
 };
 
 struct GateFinding {

@@ -61,6 +61,9 @@ class Log {
     return "?";
   }
 
+  // sqos-lint: allow(no-mutable-static): atomic log threshold is read-mostly
+  // configuration set once at startup; it never feeds simulation state or
+  // event order, so cross-worker visibility cannot perturb a replay.
   static inline std::atomic<int> level_{static_cast<int>(LogLevel::kWarn)};
 };
 

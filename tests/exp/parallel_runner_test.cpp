@@ -1,0 +1,115 @@
+// ParallelRunner contract tests. The pool's one promise is that parallelism
+// never changes the output: results merge by submission index (so completion
+// order is irrelevant), jobs == 1 is the inline serial regime with zero
+// threads, and a failing task rethrows deterministically — the
+// earliest-submitted failure wins — leaving the pool usable.
+#include "exp/parallel_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sqos::exp {
+namespace {
+
+TEST(ParallelRunner, ZeroJobsResolvesToDefaultAndWidthIsFixed) {
+  EXPECT_GE(default_jobs(), 1u);
+  EXPECT_EQ(ParallelRunner{0}.jobs(), default_jobs());
+  EXPECT_EQ(ParallelRunner{3}.jobs(), 3u);
+}
+
+TEST(ParallelRunner, MapMergesBySubmissionIndexUnderAdversarialCompletionOrder) {
+  // Earlier-submitted tasks sleep longer, so with 4 workers the completion
+  // order is roughly the reverse of the submission order. The merge is
+  // position-based, so the output must not care.
+  ParallelRunner pool{4};
+  const std::size_t count = 16;
+  const std::vector<int> out = pool.map<int>(count, [count](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(count - 1 - i));
+    return static_cast<int>(i) * 10 + 1;
+  });
+  ASSERT_EQ(out.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i) * 10 + 1) << "slot " << i;
+  }
+}
+
+TEST(ParallelRunner, SingleJobRunsInlineOnTheCallingThreadInOrder) {
+  ParallelRunner pool{1};
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < 5; ++i) {
+    pool.submit([&order, caller, i] {
+      EXPECT_EQ(std::this_thread::get_id(), caller);
+      order.push_back(i);
+    });
+    // Serial regime: the task has already run when submit() returns.
+    ASSERT_EQ(order.size(), i + 1);
+  }
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelRunner, SingleJobPropagatesExceptionsDirectlyFromSubmit) {
+  ParallelRunner pool{1};
+  EXPECT_THROW(pool.submit([] { throw std::runtime_error{"inline boom"}; }),
+               std::runtime_error);
+  // The failure must not wedge the pool.
+  int ran = 0;
+  pool.submit([&ran] { ran = 1; });
+  pool.wait_idle();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ParallelRunner, WaitIdleRethrowsEarliestSubmittedFailureAndPoolStaysUsable) {
+  ParallelRunner pool{3};
+  std::atomic<int> ok_tasks{0};
+  for (std::size_t i = 0; i < 6; ++i) {
+    pool.submit([&ok_tasks, i] {
+      if (i == 1) {
+        // Finish *last* among the failures: earliest submission index must
+        // still win over completion order.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        throw std::runtime_error{"boom 1"};
+      }
+      if (i == 4) throw std::runtime_error{"boom 4"};
+      ok_tasks.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() must rethrow the earliest-submitted failure";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 1");
+  }
+  EXPECT_EQ(ok_tasks.load(), 4);
+
+  // A failure is reported once, then the pool keeps working.
+  const std::vector<int> out = pool.map<int>(8, [](std::size_t i) {
+    return static_cast<int>(i) + 100;
+  });
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.front(), 100);
+  EXPECT_EQ(out.back(), 107);
+}
+
+TEST(ParallelRunner, BoundedQueueBackpressureStillCompletesEverySubmission) {
+  // Far more tasks than the queue capacity: submit() must block (not drop,
+  // not grow without bound) and every task must run exactly once.
+  ParallelRunner pool{2};
+  std::atomic<std::size_t> ran{0};
+  for (std::size_t i = 0; i < 300; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 300u);
+}
+
+}  // namespace
+}  // namespace sqos::exp

@@ -1,0 +1,36 @@
+// Fixture: mutable static state the no-mutable-static rule must catch, and
+// the const/constexpr/function declarations it must leave alone.
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::uint64_t counter() {
+  static std::uint64_t calls = 0;  // line 11: function-local mutable static
+  return ++calls;
+}
+
+static std::vector<std::string> g_cache;  // line 15: namespace-scope mutable
+static std::atomic<int> g_flag{0};        // line 16: atomic is still mutable
+static constinit int g_ticks = 0;         // line 17: constinit != const
+
+struct Holder {
+  static inline double last_seen = 0.0;  // line 20: mutable class static
+};
+
+// None of these may fire: const/constexpr data and plain static functions.
+static constexpr int kTableSize = 64;
+static const std::string kName = "fixture";
+static int pure_helper(int x) { return x + 1; }
+
+int use() {
+  static const std::vector<int> kPrimes{2, 3, 5};
+  (void)g_cache;
+  (void)kTableSize;
+  return pure_helper(static_cast<int>(Holder::last_seen) + kPrimes[0]) +
+         g_flag.load() + g_ticks + static_cast<int>(kName.size());
+}
+
+}  // namespace fixture

@@ -80,6 +80,15 @@ TEST(SqosLint, NoPointerKeyedOrderFlagsPointerKeysNotPointerValues) {
             (Expected{{"no-pointer-keyed-order", 13}, {"no-pointer-keyed-order", 14}}));
 }
 
+TEST(SqosLint, NoMutableStaticFlagsDataDeclarationsNotConstOrFunctions) {
+  EXPECT_EQ(lint_one("src/util/bad_static.cpp"),
+            (Expected{{"no-mutable-static", 11},
+                      {"no-mutable-static", 15},
+                      {"no-mutable-static", 16},
+                      {"no-mutable-static", 17},
+                      {"no-mutable-static", 20}}));
+}
+
 TEST(SqosLint, NodiscardResultFlagsDefinitionsNotForwardDeclsOrEnums) {
   EXPECT_EQ(lint_one("src/core/bad_result.hpp"),
             (Expected{{"nodiscard-result", 6}, {"nodiscard-result", 10}}));
@@ -136,12 +145,12 @@ TEST(SqosLint, WholeFixtureTreeFindingsAreDeterministicallySorted) {
       "src/dfs/suppressed_ok.cpp",     "src/net/bad_guard.hpp",
       "src/sim/bad_std_function.cpp",  "src/sim/bad_wallclock.cpp",
       "src/storage/bad_unordered_iter.cpp",
-      "src/storage/unused_suppression.cpp",
+      "src/storage/unused_suppression.cpp", "src/util/bad_static.cpp",
   };
   Linter linter;
   for (const std::string& rel : rels) linter.add_file(rel, read_fixture(rel));
   const std::vector<Finding> findings = linter.run();
-  EXPECT_EQ(findings.size(), 21u);
+  EXPECT_EQ(findings.size(), 26u);
   EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
                              [](const Finding& a, const Finding& b) {
                                return std::tie(a.file, a.line, a.rule) <
@@ -152,8 +161,8 @@ TEST(SqosLint, WholeFixtureTreeFindingsAreDeterministicallySorted) {
   for (const Finding& f : findings) rules.insert(f.rule);
   for (const char* required :
        {"no-wallclock", "no-unordered-iteration", "no-unseeded-rng",
-        "no-std-function-hotpath", "no-pointer-keyed-order", "nodiscard-result",
-        "pragma-once", "bad-suppression", "unused-suppression"}) {
+        "no-std-function-hotpath", "no-pointer-keyed-order", "no-mutable-static",
+        "nodiscard-result", "pragma-once", "bad-suppression", "unused-suppression"}) {
     EXPECT_EQ(rules.count(required), 1u) << "rule never fired: " << required;
   }
 }

@@ -142,6 +142,20 @@ TEST(PerfGate, InfoMetricsNeverGate) {
   EXPECT_TRUE(gate_compare(base, current).ok());
 }
 
+TEST(PerfGate, MissingInfoMetricIsExemptFromTheGate) {
+  // A baseline recorded with wall-time/speedup info metrics must still gate
+  // cleanly against a run that lacks them (different jobs= or an older
+  // binary); only gated goals may produce kMissing.
+  const auto base = doc_with({{"cell0.requests", 1497.0, "", MetricGoal::kExact},
+                              {"sweep.wall_ms", 120.0, "ms", MetricGoal::kInfo},
+                              {"meta.jobs", 4.0, "", MetricGoal::kInfo}});
+  const auto current = doc_with({{"cell0.requests", 1497.0, "", MetricGoal::kExact}});
+  const GateResult result = gate_compare(base, current);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(find(result, "sweep.wall_ms"), nullptr);
+  EXPECT_EQ(find(result, "meta.jobs"), nullptr);
+}
+
 TEST(PerfGate, NewMetricPassesMissingMetricFails) {
   const auto base = doc_with({{"old", 1.0, "", MetricGoal::kLowerIsBetter}});
   const auto current = doc_with({{"new", 1.0, "", MetricGoal::kLowerIsBetter}});

@@ -16,6 +16,7 @@ constexpr std::string_view kNoUnorderedIteration = "no-unordered-iteration";
 constexpr std::string_view kNoUnseededRng = "no-unseeded-rng";
 constexpr std::string_view kNoStdFunctionHotpath = "no-std-function-hotpath";
 constexpr std::string_view kNoPointerKeyedOrder = "no-pointer-keyed-order";
+constexpr std::string_view kNoMutableStatic = "no-mutable-static";
 constexpr std::string_view kNodiscardResult = "nodiscard-result";
 constexpr std::string_view kPragmaOnce = "pragma-once";
 constexpr std::string_view kBadSuppression = "bad-suppression";
@@ -450,6 +451,73 @@ void rule_no_pointer_keyed_order(const SourceFile& f, Sink& out) {
   }
 }
 
+/// Mutable `static` data (function-local or namespace/class scope) is hidden
+/// shared state: it survives across run_experiment calls and is shared by
+/// every worker in the parallel runner, so a write from one seed can leak
+/// into another and break bit-identical replay. Only `const`/`constexpr`
+/// statics pass; `constinit` alone still declares mutable storage and is
+/// flagged. Declarations whose first top-level token after the specifiers is
+/// `(` are function declarations and are ignored.
+void rule_no_mutable_static(const SourceFile& f, Sink& out) {
+  if (!in_src(f.path)) return;
+  // Join lines (keeping offsets) so declarations split across lines parse.
+  std::string joined;
+  std::vector<std::size_t> line_of;  // joined offset -> line index
+  for (std::size_t ln = 0; ln < f.code.size(); ++ln) {
+    for (const char c : f.code[ln]) {
+      joined += c;
+      line_of.push_back(ln);
+    }
+    joined += '\n';
+    line_of.push_back(ln);
+  }
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t pos = find_word(joined, "static", from);
+    if (pos == std::string_view::npos) break;
+    from = pos + 6;
+    // Walk the declaration fragment after `static`, tracking <>/()/[] depth
+    // so template arguments and array bounds don't end the scan early. The
+    // first top-level structural token classifies the declaration:
+    //   '('          -> function declaration (fine: no storage)
+    //   ';' '=' '{'  -> data declaration -> mutable unless const/constexpr
+    int depth = 0;
+    bool immutable = false;
+    bool is_function = false;
+    bool classified = false;
+    for (std::size_t i = pos + 6; i < joined.size(); ++i) {
+      const char c = joined[i];
+      if (c == '<' || c == '(' || c == '[') {
+        if (depth == 0 && c == '(') {
+          is_function = true;
+          classified = true;
+          break;
+        }
+        ++depth;
+      } else if (c == '>' || c == ')' || c == ']') {
+        if (depth > 0) --depth;
+      } else if (depth == 0 && (c == ';' || c == '=' || c == '{')) {
+        classified = true;
+        break;
+      } else if (depth == 0 && is_word(c)) {
+        const std::size_t begin = i;
+        while (i < joined.size() && is_word(joined[i])) ++i;
+        const std::string_view word =
+            std::string_view{joined}.substr(begin, i - begin);
+        // `constinit` is deliberately NOT immutable: it constrains the
+        // initializer, not later writes.
+        if (word == "const" || word == "constexpr") immutable = true;
+        --i;  // compensate the loop increment
+      }
+    }
+    if (!classified || is_function || immutable) continue;
+    emit(out, kNoMutableStatic, f, line_of[pos],
+         "mutable static state outlives the experiment and is shared across "
+         "parallel-runner workers, so one seed's writes can leak into "
+         "another's replay; make it const/constexpr or pass it explicitly");
+  }
+}
+
 void rule_nodiscard_result(const SourceFile& f, Sink& out) {
   if (!in_src(f.path)) return;
   // Join lines (keeping offsets) so `class X\n    : base {` parses.
@@ -684,6 +752,7 @@ std::vector<Finding> Linter::run() {
     rule_no_unseeded_rng(f, raw);
     rule_no_std_function_hotpath(f, raw);
     rule_no_pointer_keyed_order(f, raw);
+    rule_no_mutable_static(f, raw);
     rule_nodiscard_result(f, raw);
     rule_pragma_once(f, raw);
 
@@ -755,6 +824,8 @@ const std::vector<RuleInfo>& rule_catalog() {
                               "InlineFn allocation-free hot path"},
       {kNoPointerKeyedOrder, "std::map/std::set keyed by raw pointers iterate in "
                              "address order, which differs per run"},
+      {kNoMutableStatic, "mutable static data in src/ is shared across runs and "
+                         "parallel workers; only const/constexpr statics pass"},
       {kNodiscardResult, "types named *Result/*Status/*Error must be [[nodiscard]] "
                          "so outcomes can't be silently dropped"},
       {kPragmaOnce, "headers must open with #pragma once or a classic guard"},

@@ -14,6 +14,8 @@
 //   no-unseeded-rng          std:: random engines / rand() outside util/rng
 //   no-std-function-hotpath  std::function in src/sim and src/storage
 //   no-pointer-keyed-order   std::map/std::set keyed by a raw pointer
+//   no-mutable-static        mutable static data in src/ (shared across runs
+//                            and parallel-runner workers)
 //   nodiscard-result         *Result/*Status/*Error types not [[nodiscard]]
 //   pragma-once              headers missing #pragma once (or a guard)
 //   bad-suppression          sqos-lint: allow(...) without a justification

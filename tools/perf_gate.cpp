@@ -6,7 +6,8 @@
 //   0  within tolerance (or baseline missing — first run on a new machine /
 //      metric set records a baseline instead of failing, or --warn-only)
 //   1  regression beyond tolerance (a gated metric got worse, an exact
-//      metric drifted, or a baseline metric disappeared)
+//      metric drifted, or a baseline metric disappeared; goal=info metrics
+//      — wall times, jobs counts, speedups — never gate and may come and go)
 //   2  usage error / unreadable current run
 //
 // Flags (defaults in brackets):

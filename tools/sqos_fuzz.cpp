@@ -21,12 +21,19 @@
 //   --faults                 compose a random fault schedule
 //   --soft                   soft real-time base mode
 //   --no-minimize            skip schedule minimization on failure
+//   --jobs=N          [1]    run seeds on N worker threads; every run is
+//                            seed-pure and reports print in seed order, so
+//                            verdicts and repro lines match --jobs=1 exactly
+//                            (only live [WARN] diagnostics may interleave)
 //   --inject-overallocation-bug   RMs skip firm admission (must be caught)
 //   --print-schedule         dump the generated op schedule before running
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "exp/parallel_runner.hpp"
 
 #include "check/op_fuzzer.hpp"
 
@@ -46,6 +53,7 @@ int main(int argc, char** argv) {
 
   check::FuzzOptions options;
   std::uint64_t seeds = 1;
+  std::uint64_t jobs = 1;
   bool print_schedule = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
     std::uint64_t v = 0;
     if (parse_u64(arg, "--seed", options.seed)) continue;
     if (parse_u64(arg, "--seeds", seeds)) continue;
+    if (parse_u64(arg, "--jobs", jobs)) continue;
     if (parse_u64(arg, "--ops", v)) { options.op_count = static_cast<std::size_t>(v); continue; }
     if (parse_u64(arg, "--audit-every", options.audit_every)) continue;
     if (parse_u64(arg, "--rms", v)) { options.rm_count = static_cast<std::size_t>(v); continue; }
@@ -83,17 +92,34 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  int failures = 0;
-  for (std::uint64_t s = 0; s < seeds; ++s) {
-    check::FuzzOptions run_options = options;
-    run_options.seed = options.seed + s;
-    check::OpFuzzer fuzzer{run_options};
-    if (print_schedule) {
+  // Schedules are dumped up front (serially, in seed order) so the fan-out
+  // below never interleaves its output with the reports.
+  if (print_schedule) {
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      check::FuzzOptions run_options = options;
+      run_options.seed = options.seed + s;
+      check::OpFuzzer fuzzer{run_options};
       std::fprintf(stdout, "schedule for seed %llu:\n%s",
                    static_cast<unsigned long long>(run_options.seed),
                    check::OpFuzzer::schedule_to_string(fuzzer.generate()).c_str());
     }
-    const check::FuzzResult result = fuzzer.run();
+  }
+
+  // Each seed is an independent pure function of its options, so the corpus
+  // replay fans out over the pool; reports print afterwards in seed order,
+  // so verdicts, violations and repro lines are identical at every --jobs
+  // value (Log warnings are emitted live by workers and may interleave).
+  exp::ParallelRunner pool{static_cast<std::size_t>(jobs)};
+  const std::vector<check::FuzzResult> results =
+      pool.map<check::FuzzResult>(static_cast<std::size_t>(seeds), [&options](std::size_t s) {
+        check::FuzzOptions run_options = options;
+        run_options.seed = options.seed + s;
+        check::OpFuzzer fuzzer{run_options};
+        return fuzzer.run();
+      });
+
+  int failures = 0;
+  for (const check::FuzzResult& result : results) {
     std::fprintf(result.ok() ? stdout : stderr, "%s", result.report().c_str());
     if (!result.ok()) ++failures;
   }

@@ -23,6 +23,9 @@
 //   zipf=F, bitrate_median=F, bitrate_max=F, dur_min=F, dur_max=F
 //   seeds=N         [1]       seeds to average
 //   seed=N          [1]       base seed
+//   jobs=N          [1]       worker threads for the seed fan-out (0 = all
+//                             cores; results merge in seed order, so the
+//                             output is identical at every jobs value)
 //   monitor=S       [0]       bandwidth-sampling interval (0 = off)
 //   csv=path        []        per-RM summary CSV
 #include <cstdio>
@@ -92,12 +95,13 @@ int main(int argc, char** argv) {
   }
 
   const auto seeds = static_cast<std::size_t>(cfg.get_int("seeds", 1));
+  const auto jobs = static_cast<std::size_t>(cfg.get_int("jobs", 1));
   std::printf("sqos_run: %zu users, %s, policy %s, %s%s, %zu MM shard(s), %zu seed(s)\n\n",
               params.users, to_string(params.mode).data(), params.policy.to_string().c_str(),
               params.replication.strategy_name().c_str(),
               params.deletion.enabled ? " + GC" : "", shards, seeds);
 
-  const exp::ExperimentResult r = exp::run_averaged(params, seeds);
+  const exp::ExperimentResult r = exp::run_averaged(params, seeds, jobs);
   std::fputs(exp::summarize(r).c_str(), stdout);
 
   AsciiTable table{"\nPer-RM summary"};
