@@ -152,6 +152,14 @@ inline void record_cell_json(const exp::ExperimentParams& params,
   r.add(cell + "control_bytes", static_cast<double>(result.control_bytes), "bytes",
         MetricGoal::kExact);
   r.add(cell + "wall_ms", wall_ms, "ms", MetricGoal::kInfo);
+  // Observability counters ride along as goal=info: gate_compare treats new
+  // and missing info metrics as informational, so adding them never breaks
+  // cross-gates against older baselines. Per-RM entries are skipped to keep
+  // the document size independent of the cluster size.
+  for (const obs::MetricSample& m : result.obs_metrics) {
+    if (m.name.rfind("rm.", 0) == 0) continue;
+    r.add(cell + "obs." + m.name, m.value, "", MetricGoal::kInfo);
+  }
   sink.cells_wall_ms += wall_ms;
 }
 

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <fstream>
 #include <utility>
 
 #include "check/invariant_auditor.hpp"
 #include "dfs/ecnp_messages.hpp"
+#include "obs/recorder.hpp"
 #include "util/rng.hpp"
 
 namespace sqos::check {
@@ -64,6 +66,9 @@ std::string FuzzResult::report() const {
         " invariant violation(s)\n";
   out += check::to_string(violations);
   out += "reproduce with: sqos_fuzz " + repro_line() + "\n";
+  if (!trace_path.empty()) {
+    out += "failure trace: " + trace_path + " (chrome://tracing / Perfetto)\n";
+  }
   if (!faults.empty()) {
     out += "fault schedule:\n" + faults.to_string();
   }
@@ -156,7 +161,8 @@ bool OpFuzzer::expect_firm_cap(const std::vector<FuzzOp>& ops,
 }
 
 OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
-                                       const FaultSchedule& faults, bool expect_firm) const {
+                                       const FaultSchedule& faults, bool expect_firm,
+                                       bool capture_trace) const {
   // Catalog — bitrates/durations drawn from their own seed stream so the
   // same files exist regardless of how the op schedule evolves.
   Rng catalog_rng = Rng{options_.seed}.fork("catalog");
@@ -189,6 +195,14 @@ OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
   assert(built.is_ok());
   std::unique_ptr<dfs::Cluster> cluster = std::move(built).take();
   sim::Simulator& sim = cluster->simulator();
+
+  // The auditor owns the post-event hook, so no queue-depth probe here; the
+  // recorder passively collects spans/instants and never schedules events.
+  std::unique_ptr<obs::Recorder> recorder;
+  if (capture_trace) {
+    recorder = std::make_unique<obs::Recorder>(sim);
+    cluster->attach_observability(*recorder);
+  }
 
   // Initial replica placement from its own stream: 1-2 copies per file on a
   // deterministic run of RMs.
@@ -233,6 +247,7 @@ OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
   RunOutcome outcome;
   outcome.violations = auditor.violations();
   outcome.executed_events = sim.executed_events();
+  if (recorder != nullptr) outcome.trace_json = recorder->trace.to_json();
   return outcome;
 }
 
@@ -324,7 +339,7 @@ std::vector<FuzzOp> OpFuzzer::minimize(const std::vector<FuzzOp>& schedule,
                                        std::uint64_t& runs) const {
   const auto still_fails = [&](const std::vector<FuzzOp>& candidate) {
     ++runs;
-    const RunOutcome outcome = execute(candidate, faults, expect_firm);
+    const RunOutcome outcome = execute(candidate, faults, expect_firm, /*capture_trace=*/false);
     return std::any_of(outcome.violations.begin(), outcome.violations.end(),
                        [&](const Violation& v) { return v.invariant == invariant; });
   };
@@ -371,9 +386,16 @@ FuzzResult OpFuzzer::run() {
   }
 
   const bool expect_firm = expect_firm_cap(result.schedule, result.faults);
-  RunOutcome outcome = execute(result.schedule, result.faults, expect_firm);
+  RunOutcome outcome = execute(result.schedule, result.faults, expect_firm,
+                               /*capture_trace=*/!options_.trace_path.empty());
   result.violations = std::move(outcome.violations);
   result.executed_events = outcome.executed_events;
+
+  if (!result.ok() && !options_.trace_path.empty()) {
+    std::ofstream out{options_.trace_path, std::ios::binary | std::ios::trunc};
+    out << outcome.trace_json;
+    if (out) result.trace_path = options_.trace_path;
+  }
 
   if (!result.ok() && options_.minimize) {
     result.minimized = minimize(result.schedule, result.faults, expect_firm,

@@ -67,6 +67,12 @@ struct FuzzOptions {
   /// Deliberate bug injection for harness self-tests: every RM skips the
   /// final firm-mode admission check, so racing negotiations over-allocate.
   bool inject_overallocation_bug = false;
+
+  /// When non-empty, the full run records a Chrome trace-event capture and
+  /// writes it here if an invariant breaks (minimization re-runs are never
+  /// traced). Recording adds no simulator events, so executed_events and
+  /// the violations are identical with tracing on or off.
+  std::string trace_path;
 };
 
 struct [[nodiscard]] FuzzResult {
@@ -78,6 +84,7 @@ struct [[nodiscard]] FuzzResult {
   std::vector<FuzzOp> minimized;      // still reproduces violations[0].invariant
   std::uint64_t executed_events = 0;
   std::uint64_t minimize_runs = 0;
+  std::string trace_path;  // failure-repro trace file, when one was written
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
 
@@ -109,6 +116,7 @@ class OpFuzzer {
   struct RunOutcome {
     std::vector<Violation> violations;
     std::uint64_t executed_events = 0;
+    std::string trace_json;  // populated only when the run captured a trace
   };
 
   /// Whether the firm no-over-allocation law applies to this run (firm base
@@ -117,9 +125,11 @@ class OpFuzzer {
                                      const FaultSchedule& faults) const;
 
   /// Build a fresh cluster from the seed and replay `ops` against it with
-  /// the auditor installed; returns the violations the run produced.
+  /// the auditor installed; returns the violations the run produced. With
+  /// `capture_trace` the span/instant record of the run rides along in the
+  /// outcome as Chrome trace-event JSON.
   [[nodiscard]] RunOutcome execute(const std::vector<FuzzOp>& ops, const FaultSchedule& faults,
-                                   bool expect_firm) const;
+                                   bool expect_firm, bool capture_trace) const;
 
   void apply(dfs::Cluster& cluster, const FuzzOp& op) const;
 

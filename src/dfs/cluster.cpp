@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -186,6 +187,22 @@ Bandwidth Cluster::total_allocated() const {
   Bandwidth total;
   for (const auto& rm : rms_) total += rm->allocated();
   return total;
+}
+
+void Cluster::attach_observability(obs::Recorder& recorder) {
+  // Fixed registration order — clients, RMs, replication agent, MM shards —
+  // makes track ids (Chrome tids) a pure function of the configuration, so
+  // rendered traces are comparable byte for byte across runs.
+  for (auto& client : clients_) {
+    client->set_observer(&recorder, recorder.trace.register_track(client->name()));
+  }
+  for (auto& rm : rms_) {
+    rm->set_observer(&recorder, recorder.trace.register_track(rm->name()));
+  }
+  agent_->set_observer(&recorder, recorder.trace.register_track("replication"));
+  for (std::size_t s = 0; s < mm_->shard_count(); ++s) {
+    mm_->shard(s).set_observer(&recorder, recorder.trace.register_track("MM" + std::to_string(s + 1)));
+  }
 }
 
 }  // namespace sqos::dfs

@@ -72,7 +72,9 @@ class Cluster {
   [[nodiscard]] MetadataDirectory& mm() { return *mm_; }
   [[nodiscard]] const MetadataDirectory& mm() const { return *mm_; }
   [[nodiscard]] ReplicationAgent& replication() { return *agent_; }
+  [[nodiscard]] const ReplicationAgent& replication() const { return *agent_; }
   [[nodiscard]] GarbageCollector& gc() { return *gc_; }
+  [[nodiscard]] const GarbageCollector& gc() const { return *gc_; }
   [[nodiscard]] const FileDirectory& directory() const { return directory_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
 
@@ -89,6 +91,14 @@ class Cluster {
 
   /// Sum of all RM allocations right now (aggregate utilization snapshots).
   [[nodiscard]] Bandwidth total_allocated() const;
+
+  /// Wire an observability recorder into every component. Registers one
+  /// trace track per client, RM, the replication agent and each MM shard —
+  /// in that fixed order, so track ids (and the rendered trace) are a pure
+  /// function of the configuration. Call before start() to capture the
+  /// registration protocol. Pass-by-reference: the recorder must outlive the
+  /// cluster (or be detached by attaching another).
+  void attach_observability(obs::Recorder& recorder);
 
  private:
   Cluster(ClusterConfig config, FileDirectory directory);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -77,6 +78,7 @@ void DfsClient::write_file(FileId file, std::size_t replicas, Callback done) {
   ctx.file = file;
   ctx.required = meta.bitrate;
   ctx.size = meta.size;
+  ctx.started = sim_.now();
   ctx.replicas = replicas == 0 ? 1 : replicas;
   ctx.done = std::move(done);
   writes_.emplace(write_id, std::move(ctx));
@@ -307,6 +309,12 @@ void DfsClient::finish_write(std::uint64_t write_id) {
   const auto it = writes_.find(write_id);
   WriteContext ctx = std::move(it->second);
   writes_.erase(it);
+  if (obs_ != nullptr) {
+    obs_->trace.complete(obs_track_, "write", "flow", ctx.started,
+                         {obs::arg("file", static_cast<std::uint64_t>(ctx.file)),
+                          obs::arg("replicas", static_cast<std::uint64_t>(ctx.succeeded)),
+                          obs::arg("bytes", static_cast<std::uint64_t>(ctx.size.count()))});
+  }
   if (ctx.succeeded == 0) {
     ++counters_.writes_failed;
     if (ctx.done) ctx.done(Status::resource_exhausted("every write replica was rejected"));
@@ -521,6 +529,11 @@ void DfsClient::on_bid_timeout(std::uint64_t open_id) {
   const auto it = opens_.find(open_id);
   if (it == opens_.end() || it->second.evaluated) return;
   ++counters_.bid_timeouts;
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "bid_timeout", "ecnp",
+                        {obs::arg("file", static_cast<std::uint64_t>(it->second.file)),
+                         obs::arg("bids", static_cast<std::uint64_t>(it->second.bids.size()))});
+  }
   // Score whatever arrived; unreachable RMs count as refusals.
   evaluate_bids(open_id);
 }
@@ -572,6 +585,16 @@ void DfsClient::evaluate_bids(std::uint64_t open_id) {
   const net::NodeId winner = candidates[*pick].rm;
   ResourceManager* rm = rm_by_node(winner);
   assert(rm != nullptr);
+
+  if (obs_ != nullptr) {
+    // The negotiation span covers exploration + CFP fan-out + bid collection
+    // up to the winner selection — the ECNP control-plane cost per access.
+    obs_->trace.complete(obs_track_, "negotiate", "ecnp", ctx.started,
+                         {obs::arg("file", static_cast<std::uint64_t>(ctx.file)),
+                          obs::arg("bids", static_cast<std::uint64_t>(ctx.bids.size())),
+                          obs::arg("candidates", static_cast<std::uint64_t>(candidates.size())),
+                          obs::arg("winner", static_cast<std::uint64_t>(winner.value()))});
+  }
 
   DataRequestMsg request;
   request.open_id = open_id;
@@ -638,6 +661,15 @@ void DfsClient::on_data_complete(std::uint64_t open_id, const DataCompleteMsg& m
 
   OpenContext ctx = std::move(it->second);
   opens_.erase(it);
+  if (obs_ != nullptr) {
+    // For streams this span covers open through transfer completion; for
+    // explicit sessions it ends at the successful open (the data phase is
+    // paced by the caller and shows up as the RM-side session span).
+    obs_->trace.complete(obs_track_, ctx.explicit_session ? "open" : "access", "flow",
+                         ctx.started,
+                         {obs::arg("file", static_cast<std::uint64_t>(ctx.file)),
+                          obs::arg("rate_mbps", ctx.required.as_mbps())});
+  }
   if (ctx.explicit_session) {
     if (ctx.opened) ctx.opened(Result<std::uint64_t>{open_id});
   } else {
@@ -652,6 +684,11 @@ void DfsClient::fail_open(std::uint64_t open_id, const Status& status) {
   ++counters_.opens_failed;
   OpenContext ctx = std::move(it->second);
   opens_.erase(it);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "open_failed", "ecnp",
+                        {obs::arg("file", static_cast<std::uint64_t>(ctx.file)),
+                         obs::arg("reason", to_string(status.code()))});
+  }
   // A failed open may mean the cached holder list went stale (replicas
   // moved); drop it so the next open re-explores.
   holder_cache_.erase(ctx.file);

@@ -28,6 +28,10 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
+namespace sqos::obs {
+struct Recorder;
+}
+
 namespace sqos::dfs {
 
 class DfsClient {
@@ -135,6 +139,13 @@ class DfsClient {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Optional observability sink; null (the default) disables all tracing.
+  /// `track` is this client's trace track id (Chrome tid).
+  void set_observer(obs::Recorder* recorder, std::uint32_t track) {
+    obs_ = recorder;
+    obs_track_ = track;
+  }
+
  private:
   struct OpenContext {
     FileId file = 0;
@@ -154,6 +165,7 @@ class DfsClient {
     FileId file = 0;
     Bandwidth required;
     Bytes size;
+    SimTime started;                   // write-path latency measurement
     std::size_t replicas = 1;
     std::size_t expected_bids = 0;
     std::vector<BidMsg> bids;
@@ -226,6 +238,8 @@ class DfsClient {
   std::unordered_map<FileId, CachedHolders> holder_cache_;
   std::uint64_t next_open_id_ = 1;
   Counters counters_;
+  obs::Recorder* obs_ = nullptr;
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace sqos::dfs

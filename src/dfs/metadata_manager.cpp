@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -18,6 +19,12 @@ void MetadataManager::handle_register(const RegisterMsg& msg) {
 
 void MetadataManager::handle_resource_update(const RegisterMsg& msg) {
   ++counters_.registrations;
+  if (obs_ != nullptr) {
+    obs_->trace.instant(
+        obs_track_, "register", "mm",
+        {obs::arg("rm", static_cast<std::uint64_t>(msg.rm.value())),
+         obs::arg("files", static_cast<std::uint64_t>(msg.stored_files.size()))});
+  }
   const auto it = rm_index_.find(msg.rm);
   if (it != rm_index_.end()) {
     // Known RM: reset its replica entries to the reported disk truth. This
@@ -60,10 +67,20 @@ void MetadataManager::handle_replication_done(const ReplicationDoneMsg& msg) {
   ++counters_.replication_done;
   assert(is_registered(msg.rm));
   replicas_[msg.file].insert(msg.rm);
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "replica_committed", "mm",
+                        {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                         obs::arg("rm", static_cast<std::uint64_t>(msg.rm.value()))});
+  }
 }
 
 void MetadataManager::handle_replica_delete(const ReplicaDeleteMsg& msg) {
   ++counters_.replica_deletes;
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "replica_deleted", "mm",
+                        {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                         obs::arg("rm", static_cast<std::uint64_t>(msg.rm.value()))});
+  }
   const auto it = replicas_.find(msg.file);
   if (it == replicas_.end() || it->second.erase(msg.rm) == 0) {
     Log::warn("MM: delete of unknown replica (file %llu on %s)",
@@ -81,6 +98,11 @@ DeleteReplyMsg MetadataManager::handle_delete_request(const DeleteRequestMsg& ms
     it->second.erase(msg.rm);
     reply.approved = true;
     ++counters_.deletes_approved;
+    if (obs_ != nullptr) {
+      obs_->trace.instant(obs_track_, "gc_delete_approved", "mm",
+                          {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                           obs::arg("rm", static_cast<std::uint64_t>(msg.rm.value()))});
+    }
   }
   return reply;
 }

@@ -20,6 +20,10 @@
 #include "net/node_id.hpp"
 #include "util/units.hpp"
 
+namespace sqos::obs {
+struct Recorder;
+}
+
 namespace sqos::dfs {
 
 class MetadataManager {
@@ -91,6 +95,13 @@ class MetadataManager {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Optional observability sink; null (the default) disables all tracing.
+  /// `track` is this MM shard's trace track id (Chrome tid).
+  void set_observer(obs::Recorder* recorder, std::uint32_t track) {
+    obs_ = recorder;
+    obs_track_ = track;
+  }
+
  private:
   struct RmInfo {
     net::NodeId id;
@@ -103,6 +114,8 @@ class MetadataManager {
   std::unordered_map<net::NodeId, std::size_t> rm_index_;
   std::unordered_map<FileId, std::unordered_set<net::NodeId>> replicas_;
   Counters counters_;
+  obs::Recorder* obs_ = nullptr;
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace sqos::dfs

@@ -4,6 +4,7 @@
 
 #include "core/destination_selector.hpp"
 #include "core/replication_planner.hpp"
+#include "obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -63,7 +64,13 @@ void ReplicationAgent::start_round(ResourceManager& source) {
   auto round = std::make_shared<Round>();
   round->source = &source;
   round->source_epoch = source.epoch();
+  round->started = sim_.now();
   round->pending_queries = files.size();
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "round_start", "replication",
+                        {obs::arg("source", static_cast<std::uint64_t>(source.node_id().value())),
+                         obs::arg("files", static_cast<std::uint64_t>(files.size()))});
+  }
 
   // Round deadline: lost control messages (partition, crashed MM path) must
   // not wedge the source role forever.
@@ -101,6 +108,12 @@ void ReplicationAgent::arm_round_deadline(const std::shared_ptr<Round>& round) {
     // were lost. Release the source role.
     ++counters_.rounds_timed_out;
     round->closed = true;
+    if (obs_ != nullptr) {
+      obs_->trace.complete(
+          obs_track_, "replication_round", "replication", round->started,
+          {obs::arg("source", static_cast<std::uint64_t>(round->source->node_id().value())),
+           obs::arg("outcome", "timeout")});
+    }
     if (round->source->epoch() == round->source_epoch) {
       round->source->trigger().end_source(sim_.now());
     }
@@ -203,17 +216,29 @@ void ReplicationAgent::start_copy(const std::shared_ptr<Round>& round,
   ResourceManager* dest_ptr = &dest;
   const std::uint64_t src_epoch = source.epoch();
   const std::uint64_t dst_epoch = dest.epoch();
+  const SimTime copy_started = sim_.now();
 
   sim_.schedule_after(duration, [this, round, file_plan, dest_ptr, src_flow, dst_flow,
-                                 src_epoch, dst_epoch] {
+                                 src_epoch, dst_epoch, copy_started] {
     ResourceManager& src = *round->source;
     ResourceManager& dst = *dest_ptr;
     const FileId f = file_plan->file;
     // A crash on either endpoint aborts the copy: the crashed side's lane
     // flows and pending state were already cleared by fail().
     if (src.epoch() == src_epoch) src.end_replication_out(src_flow);
+    const auto copy_span = [this, &src, &dst, f, copy_started](const char* outcome) {
+      if (obs_ == nullptr) return;
+      obs_->trace.complete(obs_track_, "copy", "replication", copy_started,
+                           {obs::arg("file", static_cast<std::uint64_t>(f)),
+                            obs::arg("src", static_cast<std::uint64_t>(src.node_id().value())),
+                            obs::arg("dst", static_cast<std::uint64_t>(dst.node_id().value())),
+                            obs::arg("bytes",
+                                     static_cast<std::uint64_t>(directory_.get(f).size.count())),
+                            obs::arg("outcome", outcome)});
+    };
     if (dst.epoch() != dst_epoch || !dst.is_online() || src.epoch() != src_epoch) {
       ++counters_.copies_failed;
+      copy_span("aborted");
       if (dst.epoch() == dst_epoch && dst.is_online()) dst.abort_replication_in(dst_flow, f);
       --round->outstanding_copies;
       --file_plan->copies_outstanding;
@@ -221,6 +246,7 @@ void ReplicationAgent::start_copy(const std::shared_ptr<Round>& round,
       return;
     }
     const Status stored = dst.finish_replication_in(dst_flow, f);
+    copy_span(stored.is_ok() ? "stored" : "store_failed");
     if (stored.is_ok()) {
       ++counters_.copies_completed;
       counters_.bytes_copied += static_cast<std::uint64_t>(directory_.get(f).size.count());
@@ -270,6 +296,12 @@ void ReplicationAgent::finish_round_part(const std::shared_ptr<Round>& round) {
   }
   if (round->closed) return;
   round->closed = true;
+  if (obs_ != nullptr) {
+    obs_->trace.complete(
+        obs_track_, "replication_round", "replication", round->started,
+        {obs::arg("source", static_cast<std::uint64_t>(round->source->node_id().value())),
+         obs::arg("outcome", round->any_copy_started ? "copied" : "empty")});
+  }
   // If the source crashed mid-round its trigger state was already reset by
   // fail(); ending the stale round's source role would corrupt the fresh one.
   if (round->source->epoch() == round->source_epoch) {

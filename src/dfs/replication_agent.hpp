@@ -53,11 +53,19 @@ class ReplicationAgent {
   [[nodiscard]] const Counters& counters() const { return counters_; }
   [[nodiscard]] const core::ReplicationConfig& config() const { return cfg_; }
 
+  /// Optional observability sink; null (the default) disables all tracing.
+  /// `track` is the replication pipeline's trace track id (Chrome tid).
+  void set_observer(obs::Recorder* recorder, std::uint32_t track) {
+    obs_ = recorder;
+    obs_track_ = track;
+  }
+
  private:
   /// Per-round state shared by the async continuations.
   struct Round {
     ResourceManager* source = nullptr;
     std::uint64_t source_epoch = 0;    // detects a source crash mid-round
+    SimTime started;                   // round-latency span bound
     std::size_t pending_queries = 0;   // MM replica-list queries in flight
     std::size_t pending_requests = 0;  // destination requests awaiting response
     std::size_t outstanding_copies = 0;
@@ -94,6 +102,8 @@ class ReplicationAgent {
   std::unordered_map<std::uint32_t, ResourceManager*> rms_;
   std::uint64_t next_transfer_id_ = 1;
   Counters counters_;
+  obs::Recorder* obs_ = nullptr;
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace sqos::dfs

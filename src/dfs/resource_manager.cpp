@@ -7,6 +7,7 @@
 #include "core/bid.hpp"
 #include "core/replication_planner.hpp"
 #include "dfs/replication_agent.hpp"
+#include "obs/recorder.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -62,6 +63,11 @@ BidMsg ResourceManager::handle_cfp(const CfpMsg& msg) {
   ++counters_.cfps_answered;
   const FileMeta& meta = directory_.get(msg.file);
   const SimTime now = sim_.now();
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "cfp", "ecnp",
+                        {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                         obs::arg("required_mbps", msg.required.as_mbps())});
+  }
 
   core::BidInputs in;
   in.b_rem = remaining();
@@ -81,7 +87,12 @@ BidMsg ResourceManager::handle_cfp(const CfpMsg& msg) {
   return bid;
 }
 
-void ResourceManager::sync_ledger() { ledger_.on_allocation_change(sim_.now(), allocated()); }
+void ResourceManager::sync_ledger() {
+  ledger_.on_allocation_change(sim_.now(), allocated());
+  // Every allocation change passes through here, so this one counter line
+  // yields the complete per-RM allocated-bandwidth series in the trace.
+  if (obs_ != nullptr) obs_->trace.counter(obs_track_, "allocated_mbps", allocated().as_mbps());
+}
 
 bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestMsg& msg,
                                           std::function<void(const DataCompleteMsg&)> deliver_complete) {
@@ -105,6 +116,11 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
       msg.write && (disk_.contains(msg.file) || disk_.free() < meta.size);
   if (no_bandwidth || no_space) {
     ++counters_.firm_rejects;
+    if (obs_ != nullptr) {
+      obs_->trace.instant(obs_track_, "reject", "ecnp",
+                          {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                           obs::arg("reason", no_bandwidth ? "no_bandwidth" : "no_space")});
+    }
     DataCompleteMsg reject;
     reject.open_id = msg.open_id;
     reject.file = msg.file;
@@ -137,6 +153,7 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
   if (msg.auto_complete) {
     const SimTime duration = msg.rate.time_to_transfer(meta.size);
     sim_.schedule_after(duration, [this, flow, msg, client, send_complete, epoch = epoch_,
+                                   started = now,
                                    deliver = std::move(deliver_complete)]() mutable {
       DataCompleteMsg done;
       done.open_id = msg.open_id;
@@ -160,6 +177,12 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
           ++counters_.streams_completed;
         }
         done.accepted = true;
+        if (obs_ != nullptr) {
+          obs_->trace.complete(obs_track_, "transfer", "flow", started,
+                               {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                                obs::arg("kind", msg.write ? "write" : "read"),
+                                obs::arg("rate_mbps", msg.rate.as_mbps())});
+        }
       }
       send_complete(done, std::move(deliver));
     });
@@ -187,6 +210,15 @@ void ResourceManager::handle_release(net::NodeId client, const ReleaseMsg& msg) 
     return;
   }
   const Session session = it->second;
+  if (obs_ != nullptr) {
+    // Look the flow up before removal: its start time bounds the span.
+    if (const storage::Flow* flow = group_.flows().find(session.flow); flow != nullptr) {
+      obs_->trace.complete(obs_track_, "session", "flow", flow->started,
+                           {obs::arg("file", static_cast<std::uint64_t>(session.file)),
+                            obs::arg("kind", storage::to_string(flow->kind)),
+                            obs::arg("committed", msg.commit ? "true" : "false")});
+    }
+  }
   group_.remove_flow(session.flow);
   sessions_.erase(it);
   sync_ledger();
@@ -252,6 +284,7 @@ Status ResourceManager::finish_replication_in(storage::FlowId flow, FileId file)
     occupancy_.add_file(meta.duration());
     stored_at_[file] = sim_.now();
     ++counters_.replicas_received;
+    counters_.replication_bytes_in += static_cast<std::uint64_t>(meta.size.count());
   }
   return s;
 }
@@ -281,6 +314,11 @@ Status ResourceManager::delete_replica(FileId file) {
 void ResourceManager::fail() {
   online_ = false;
   ++epoch_;
+  if (obs_ != nullptr) {
+    obs_->trace.instant(obs_track_, "crash", "fault",
+                        {obs::arg("sessions", static_cast<std::uint64_t>(sessions_.size())),
+                         obs::arg("flows", static_cast<std::uint64_t>(group_.flows().size()))});
+  }
   // Volatile state dies with the host. Disk contents (replicas), and the
   // occupation statistics derived from them, survive the reboot — except
   // torn writes, whose reserved space is rolled back like a journal replay
@@ -302,7 +340,10 @@ void ResourceManager::fail() {
   trigger_ = core::ReplicationTrigger{replication_cfg_};
 }
 
-void ResourceManager::recover() { online_ = true; }
+void ResourceManager::recover() {
+  online_ = true;
+  if (obs_ != nullptr) obs_->trace.instant(obs_track_, "recover", "fault");
+}
 
 SimTime ResourceManager::last_access_of(FileId file) const {
   const auto it = last_access_.find(file);

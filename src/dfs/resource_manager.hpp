@@ -28,6 +28,10 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
+namespace sqos::obs {
+struct Recorder;
+}
+
 namespace sqos::dfs {
 
 class ReplicationAgent;
@@ -194,8 +198,16 @@ class ResourceManager {
     std::uint64_t replication_rejects = 0;
     std::uint64_t replicas_received = 0;
     std::uint64_t replicas_deleted = 0;
+    std::uint64_t replication_bytes_in = 0;  // payload bytes landed by replication
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  /// Optional observability sink; null (the default) disables all tracing.
+  /// `track` is this RM's trace track id (Chrome tid).
+  void set_observer(obs::Recorder* recorder, std::uint32_t track) {
+    obs_ = recorder;
+    obs_track_ = track;
+  }
 
  private:
   /// Re-sync the allocation ledger after any flow change.
@@ -238,6 +250,8 @@ class ResourceManager {
   bool test_skip_firm_admission_ = false;  // chaos-harness bug injection only
   ReplicationAgent* agent_ = nullptr;
   Counters counters_;
+  obs::Recorder* obs_ = nullptr;
+  std::uint32_t obs_track_ = 0;
 };
 
 }  // namespace sqos::dfs

@@ -5,6 +5,9 @@
 
 #include "dfs/cluster.hpp"
 #include "exp/parallel_runner.hpp"
+#include "obs/queue_probe.hpp"
+#include "obs/recorder.hpp"
+#include "stats/obs_metrics.hpp"
 #include "util/logging.hpp"
 #include "util/stats_accum.hpp"
 #include "util/table.hpp"
@@ -28,6 +31,10 @@ std::vector<ExperimentResult> run_seed_grid(const ExperimentParams& params, std:
   return pool.map<ExperimentResult>(seeds, [&params](std::size_t s) {
     ExperimentParams p = params;
     p.seed = params.seed + s;
+    // Only the first seed records a trace: the file stays a pure function of
+    // the base seed regardless of the seed count or jobs value, and parallel
+    // workers never race on one output path.
+    if (s != 0) p.obs_trace_path.reset();
     return run_experiment(p);
   });
 }
@@ -57,6 +64,19 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   Rng placement_rng = root.fork("placement");
   const Status placed = workload::place_static_replicas(cluster, params.placement, placement_rng);
   if (!placed.is_ok()) die(placed, "static placement");
+
+  // Tracing attaches before start() so the registration protocol is on the
+  // trace. The queue-depth probe shares the simulator's single post-event
+  // hook; experiments never install the invariant auditor, so it is free.
+  std::unique_ptr<obs::Recorder> recorder;
+  std::unique_ptr<obs::QueueDepthProbe> probe;
+  if (params.obs_trace_path.has_value()) {
+    recorder = std::make_unique<obs::Recorder>(cluster.simulator());
+    cluster.attach_observability(*recorder);
+    probe = std::make_unique<obs::QueueDepthProbe>(cluster.simulator(), recorder->trace,
+                                                   recorder->trace.register_track("sim"));
+    probe->install();
+  }
   cluster.start();
 
   // Access pattern: generated per seed, or replayed from a saved trace.
@@ -143,6 +163,24 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
             TimeSeriesPoint{monitor->samples()[i].time.as_seconds(), series[i]});
       }
     }
+  }
+
+  // Observability: the counter snapshot is always collected; the trace file
+  // is written only when requested. The registry is rebuilt per run, so the
+  // snapshot is a pure function of the run like every other metric.
+  obs::MetricsRegistry registry;
+  stats::collect_obs_metrics(cluster, registry);
+  if (probe != nullptr) {
+    probe->uninstall();
+    registry.counter("sim.queue_probe_samples").add(probe->stats().samples);
+    obs::Gauge& depth = registry.gauge("sim.event_queue_depth");
+    depth.observe(static_cast<double>(probe->stats().max_depth));
+    depth.observe(static_cast<double>(probe->stats().last_depth));
+  }
+  result.obs_metrics = registry.snapshot();
+  if (recorder != nullptr) {
+    const Status written = recorder->trace.write_file(*params.obs_trace_path);
+    if (!written.is_ok()) die(written, "trace write");
   }
   return result;
 }

@@ -15,6 +15,7 @@
 #include "core/selection_policy.hpp"
 #include "dfs/cluster_config.hpp"
 #include "exp/paper_setup.hpp"
+#include "obs/metrics.hpp"
 #include "stats/qos_metrics.hpp"
 #include "stats/rm_monitor.hpp"
 #include "util/error.hpp"
@@ -43,6 +44,14 @@ struct ExperimentParams {
   /// Sampling interval for the bandwidth time series; zero disables the
   /// monitor (tables don't need it, figures do).
   SimTime monitor_interval = SimTime::zero();
+
+  /// Write a deterministic Chrome trace-event JSON of the run to this path
+  /// (docs/OBSERVABILITY.md). Unset (the default) disables tracing entirely
+  /// — no recorder is attached and no hot-path work is done. Distinct from
+  /// `trace_path`, which is a *workload replay input*. Under run_averaged /
+  /// run_spread only the first seed records (so the trace is independent of
+  /// the seed count and jobs value).
+  std::optional<std::string> obs_trace_path;
 
   /// Request replay starts after the registration protocol settles.
   SimTime start_offset = SimTime::seconds(5.0);
@@ -85,6 +94,11 @@ struct [[nodiscard]] ExperimentResult {
 
   // Optional bandwidth time series (one per RM) when the monitor ran.
   std::vector<std::vector<TimeSeriesPoint>> rm_series;
+
+  /// Observability registry snapshot (stats::collect_obs_metrics catalog),
+  /// always collected — the counters exist whether or not tracing ran.
+  /// run_averaged keeps the first seed's snapshot rather than averaging.
+  std::vector<obs::MetricSample> obs_metrics;
 
   double simulated_seconds = 0.0;
 };

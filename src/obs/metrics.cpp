@@ -1,0 +1,22 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace sqos::obs {
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + 2 * gauges_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, static_cast<double>(c.value())});
+  }
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name + ".last", g.last()});
+    out.push_back({name + ".max", g.max()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) { return a.name < b.name; });
+  return out;
+}
+
+}  // namespace sqos::obs

@@ -1,0 +1,70 @@
+// Typed counter/gauge registry for deterministic observability.
+//
+// The registry is the numeric half of the obs layer (the Tracer is the
+// timeline half): named monotonic counters and last/peak gauges that the
+// experiment runner fills from the authoritative component counters after a
+// run and surfaces through stats reports and sqos-bench-v1 info metrics.
+// Everything is ordered (std::map) so a snapshot is deterministic and a
+// rendered report is byte-identical across runs and jobs= values.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sqos::obs {
+
+/// One named value of a registry snapshot (gauges expand to .last/.max).
+struct MetricSample {
+  std::string name;
+  double value = 0.0;
+};
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time observation; tracks the last and peak observed values.
+class Gauge {
+ public:
+  void observe(double v) {
+    last_ = v;
+    if (samples_ == 0 || v > max_) max_ = v;
+    ++samples_;
+  }
+  [[nodiscard]] double last() const { return last_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] std::uint64_t samples() const { return samples_; }
+
+ private:
+  double last_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+/// Name -> metric map with deterministic (sorted) snapshot order.
+class MetricsRegistry {
+ public:
+  /// Find-or-create; references stay valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  [[nodiscard]] std::size_t size() const { return counters_.size() + gauges_.size(); }
+
+  /// All metrics sorted by name: counters under their own name, gauges
+  /// expanded to `<name>.last` and `<name>.max`.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+};
+
+}  // namespace sqos::obs

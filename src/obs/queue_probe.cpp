@@ -1,0 +1,27 @@
+#include "obs/queue_probe.hpp"
+
+namespace sqos::obs {
+
+void QueueDepthProbe::install() {
+  if (installed_) return;
+  sim_.set_post_event_hook([this] { on_event(); });
+  installed_ = true;
+}
+
+void QueueDepthProbe::uninstall() {
+  if (!installed_) return;
+  sim_.set_post_event_hook({});
+  installed_ = false;
+}
+
+void QueueDepthProbe::on_event() {
+  ++events_seen_;
+  if (events_seen_ % sample_every_ != 0) return;
+  const std::size_t depth = sim_.pending_events();
+  ++stats_.samples;
+  stats_.last_depth = depth;
+  if (depth > stats_.max_depth) stats_.max_depth = depth;
+  tracer_.counter(track_, "event_queue_depth", static_cast<double>(depth));
+}
+
+}  // namespace sqos::obs

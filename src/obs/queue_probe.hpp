@@ -1,0 +1,58 @@
+// Event-queue depth sampler riding the simulator's post-event hook.
+//
+// Every Nth executed event it reads `Simulator::pending_events()` and emits a
+// Chrome "C" counter sample, giving a deterministic queue-depth series with
+// bounded trace growth. The probe is purely observational: it never
+// schedules or cancels events, so installing it cannot change a run's event
+// sequence. It shares the single post-event hook slot with the invariant
+// auditor, so it is NOT installed during fuzz runs (the auditor owns the
+// hook there; the fuzz trace still carries spans and instants).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace sqos::obs {
+
+class QueueDepthProbe {
+ public:
+  struct Stats {
+    std::uint64_t samples = 0;
+    std::size_t max_depth = 0;
+    std::size_t last_depth = 0;
+  };
+
+  QueueDepthProbe(sim::Simulator& sim, Tracer& tracer, TrackId track,
+                  std::uint64_t sample_every = 64)
+      : sim_{sim}, tracer_{tracer}, track_{track},
+        sample_every_{sample_every == 0 ? 1 : sample_every} {}
+
+  QueueDepthProbe(const QueueDepthProbe&) = delete;
+  QueueDepthProbe& operator=(const QueueDepthProbe&) = delete;
+
+  ~QueueDepthProbe() { uninstall(); }
+
+  /// Claims the simulator's post-event hook. The caller must ensure nothing
+  /// else (e.g. the invariant auditor) needs the hook while installed.
+  void install();
+
+  /// Releases the hook; safe to call when not installed.
+  void uninstall();
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_event();
+
+  sim::Simulator& sim_;
+  Tracer& tracer_;
+  TrackId track_;
+  std::uint64_t sample_every_;
+  std::uint64_t events_seen_ = 0;
+  bool installed_ = false;
+  Stats stats_;
+};
+
+}  // namespace sqos::obs

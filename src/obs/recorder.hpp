@@ -1,0 +1,21 @@
+// Bundles the two halves of the obs layer behind one attachment point.
+//
+// Components hold an optional `Recorder*` (null = tracing disabled, the
+// default); `Cluster::attach_observability` wires one recorder into every
+// component in a deterministic order. Keeping both halves in one struct means
+// instrumentation sites never juggle separate tracer/registry pointers.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace sqos::obs {
+
+struct Recorder {
+  explicit Recorder(const sim::Simulator& sim) : trace{sim} {}
+
+  Tracer trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace sqos::obs

@@ -1,0 +1,176 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+namespace sqos::obs {
+
+namespace {
+
+// Minimal JSON string escaper; span/track names are controlled identifiers
+// but file names in args may contain anything.
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string render_double(double v) {
+  // %.17g round-trips every double, keeping rendered traces bit-faithful to
+  // the values that produced them.
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+TraceArg arg(std::string key, std::string_view value) { return {std::move(key), quote(value)}; }
+TraceArg arg(std::string key, const char* value) {
+  return {std::move(key), quote(std::string_view{value})};
+}
+TraceArg arg(std::string key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, value);
+  return {std::move(key), buf};
+}
+TraceArg arg(std::string key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRId64, value);
+  return {std::move(key), buf};
+}
+TraceArg arg(std::string key, double value) { return {std::move(key), render_double(value)}; }
+
+TrackId Tracer::register_track(std::string name) {
+  const auto id = static_cast<TrackId>(track_names_.size());
+  track_names_.push_back(std::move(name));
+  return id;
+}
+
+void Tracer::complete(TrackId track, std::string_view name, std::string_view category,
+                      SimTime start, std::vector<TraceArg> args) {
+  Event e;
+  e.phase = Phase::kComplete;
+  e.track = track;
+  e.ts_us = start.as_micros();
+  e.dur_us = (sim_.now() - start).as_micros();
+  e.name = name;
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::instant(TrackId track, std::string_view name, std::string_view category,
+                     std::vector<TraceArg> args) {
+  Event e;
+  e.phase = Phase::kInstant;
+  e.track = track;
+  e.ts_us = sim_.now().as_micros();
+  e.name = name;
+  e.category = category;
+  e.args = std::move(args);
+  events_.push_back(std::move(e));
+}
+
+void Tracer::counter(TrackId track, std::string_view name, double value) {
+  Event e;
+  e.phase = Phase::kCounter;
+  e.track = track;
+  e.ts_us = sim_.now().as_micros();
+  e.name = name;
+  e.args.push_back({"value", render_double(value)});
+  events_.push_back(std::move(e));
+}
+
+std::string Tracer::to_json() const {
+  std::string out;
+  out.reserve(128 + 96 * (track_names_.size() + events_.size()));
+  out += "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+
+  emit(R"({"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"sqos"}})");
+  for (std::size_t tid = 0; tid < track_names_.size(); ++tid) {
+    std::string line = R"({"ph":"M","pid":0,"tid":)";
+    line += std::to_string(tid);
+    line += R"(,"name":"thread_name","args":{"name":)";
+    line += quote(track_names_[tid]);
+    line += "}}";
+    emit(line);
+  }
+
+  for (const Event& e : events_) {
+    std::string line = "{\"ph\":\"";
+    switch (e.phase) {
+      case Phase::kComplete: line += 'X'; break;
+      case Phase::kInstant: line += 'i'; break;
+      case Phase::kCounter: line += 'C'; break;
+    }
+    line += "\",\"pid\":0,\"tid\":";
+    line += std::to_string(e.track);
+    line += ",\"ts\":";
+    line += std::to_string(e.ts_us);
+    if (e.phase == Phase::kComplete) {
+      line += ",\"dur\":";
+      line += std::to_string(e.dur_us);
+    }
+    if (e.phase == Phase::kInstant) line += R"(,"s":"t")";
+    line += ",\"name\":";
+    line += quote(e.name);
+    if (!e.category.empty()) {
+      line += ",\"cat\":";
+      line += quote(e.category);
+    }
+    if (!e.args.empty()) {
+      line += ",\"args\":{";
+      for (std::size_t i = 0; i < e.args.size(); ++i) {
+        if (i != 0) line += ',';
+        line += quote(e.args[i].key);
+        line += ':';
+        line += e.args[i].json_value;
+      }
+      line += '}';
+    }
+    line += '}';
+    emit(line);
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::write_file(const std::string& path) const {
+  std::ofstream f{path, std::ios::binary | std::ios::trunc};
+  if (!f) return Status::unavailable("cannot open trace file " + path);
+  const std::string json = to_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  f.flush();
+  if (!f) return Status::internal("short write to trace file " + path);
+  return Status::ok();
+}
+
+}  // namespace sqos::obs

@@ -1,0 +1,90 @@
+// Deterministic span tracer emitting Chrome trace-event JSON.
+//
+// Every event is stamped with simulator time only (integer microseconds), so
+// a trace is a pure function of the run: byte-identical across repeated runs
+// and across jobs= values. Tracks map to Chrome "threads" (tid), one per
+// component (client, RM, replication agent, MM shard); spans are "X"
+// complete events, point events are "i" instants, and sampled series are "C"
+// counter events. The rendered file opens directly in chrome://tracing and
+// Perfetto (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/error.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::obs {
+
+/// Rendered key/value pair attached to a trace event. The value is already
+/// valid JSON (quoted string or bare number) so emission is a plain join.
+struct TraceArg {
+  std::string key;
+  std::string json_value;
+};
+
+[[nodiscard]] TraceArg arg(std::string key, std::string_view value);
+[[nodiscard]] TraceArg arg(std::string key, const char* value);
+[[nodiscard]] TraceArg arg(std::string key, std::uint64_t value);
+[[nodiscard]] TraceArg arg(std::string key, std::int64_t value);
+[[nodiscard]] TraceArg arg(std::string key, double value);
+
+/// Identifies a named track (Chrome tid); 0 is a valid first track.
+using TrackId = std::uint32_t;
+
+/// Records spans/instants/counters against simulator time.
+class Tracer {
+ public:
+  explicit Tracer(const sim::Simulator& sim) : sim_{sim} {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Registers a named track; emitted as thread_name metadata. Registration
+  /// order fixes the tid numbering, so callers must register in a
+  /// deterministic order.
+  [[nodiscard]] TrackId register_track(std::string name);
+
+  /// "X" complete event covering [start, now].
+  void complete(TrackId track, std::string_view name, std::string_view category,
+                SimTime start, std::vector<TraceArg> args = {});
+
+  /// "i" instant event at now.
+  void instant(TrackId track, std::string_view name, std::string_view category,
+               std::vector<TraceArg> args = {});
+
+  /// "C" counter sample at now.
+  void counter(TrackId track, std::string_view name, double value);
+
+  [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  [[nodiscard]] std::size_t track_count() const { return track_names_.size(); }
+
+  /// Full trace as a Chrome trace-event JSON object ({"traceEvents": [...]}).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Renders to_json() into `path`; fails loudly on I/O errors.
+  [[nodiscard]] Status write_file(const std::string& path) const;
+
+ private:
+  enum class Phase : std::uint8_t { kComplete, kInstant, kCounter };
+
+  struct Event {
+    Phase phase = Phase::kInstant;
+    TrackId track = 0;
+    std::int64_t ts_us = 0;
+    std::int64_t dur_us = 0;  // complete events only
+    std::string name;
+    std::string category;
+    std::vector<TraceArg> args;  // counters store one numeric arg
+  };
+
+  const sim::Simulator& sim_;
+  std::vector<std::string> track_names_;
+  std::vector<Event> events_;
+};
+
+}  // namespace sqos::obs

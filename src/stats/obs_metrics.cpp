@@ -1,0 +1,60 @@
+#include "stats/obs_metrics.hpp"
+
+#include "dfs/cluster.hpp"
+
+namespace sqos::stats {
+
+void collect_obs_metrics(const dfs::Cluster& cluster, obs::MetricsRegistry& registry) {
+  // Client aggregates: every DFSC folds into one namespace — per-client
+  // splits add little once the per-RM side is visible.
+  std::uint64_t opens_attempted = 0, opens_failed = 0, bid_timeouts = 0, streams = 0;
+  for (std::size_t c = 0; c < cluster.client_count(); ++c) {
+    const dfs::DfsClient::Counters& cc = cluster.client(c).counters();
+    opens_attempted += cc.opens_attempted;
+    opens_failed += cc.opens_failed;
+    bid_timeouts += cc.bid_timeouts;
+    streams += cc.streams_completed;
+  }
+  registry.counter("client.opens_attempted").add(opens_attempted);
+  registry.counter("client.opens_failed").add(opens_failed);
+  registry.counter("client.bid_timeouts").add(bid_timeouts);
+  registry.counter("client.streams_completed").add(streams);
+
+  for (std::size_t i = 0; i < cluster.rm_count(); ++i) {
+    const dfs::ResourceManager& rm = cluster.rm(i);
+    const dfs::ResourceManager::Counters& rc = rm.counters();
+    const std::string prefix = "rm." + rm.name() + ".";
+    registry.counter(prefix + "cfp_rejects").add(rc.firm_rejects);
+    registry.counter(prefix + "cfps_answered").add(rc.cfps_answered);
+    registry.counter(prefix + "replicas_received").add(rc.replicas_received);
+    registry.counter(prefix + "replicas_deleted").add(rc.replicas_deleted);
+    registry.counter(prefix + "replication_bytes_in").add(rc.replication_bytes_in);
+    registry.gauge(prefix + "allocated_mbps").observe(rm.allocated().as_mbps());
+  }
+
+  const dfs::ReplicationAgent::Counters& rep = cluster.replication().counters();
+  registry.counter("replication.rounds").add(rep.rounds_started);
+  registry.counter("replication.copies_completed").add(rep.copies_completed);
+  registry.counter("replication.bytes_copied").add(rep.bytes_copied);
+  registry.counter("replication.self_deletes").add(rep.self_deletes);
+  registry.counter("replication.destination_rejects").add(rep.destination_rejects);
+
+  std::uint64_t resource_queries = 0, registrations = 0, replica_list_queries = 0;
+  for (std::size_t s = 0; s < cluster.mm().shard_count(); ++s) {
+    const dfs::MetadataManager::Counters& mc = cluster.mm().shard(s).counters();
+    resource_queries += mc.resource_queries;
+    registrations += mc.registrations;
+    replica_list_queries += mc.replica_list_queries;
+  }
+  registry.counter("mm.resource_queries").add(resource_queries);
+  registry.counter("mm.registrations").add(registrations);
+  registry.counter("mm.replica_list_queries").add(replica_list_queries);
+
+  // "Preemption" analogue: this model never revokes a granted allocation, so
+  // the reclaim pressure shows up as GC deletes and replication self-deletes
+  // instead (see docs/OBSERVABILITY.md).
+  registry.counter("gc.deletes").add(cluster.gc().counters().deletes_approved);
+  registry.counter("gc.bytes_reclaimed").add(cluster.gc().counters().bytes_reclaimed);
+}
+
+}  // namespace sqos::stats

@@ -1,0 +1,25 @@
+// Fills an obs::MetricsRegistry from the cluster's component counters.
+//
+// The components keep their own authoritative counter structs (client, RM,
+// MM, replication agent, GC); this collector maps them into the typed
+// registry after a run so stats reports and sqos-bench-v1 info metrics see
+// one flat, deterministically-ordered namespace:
+//   client.*       aggregated over all DFSCs
+//   rm.<name>.*    per resource manager
+//   replication.*  the replication pipeline
+//   mm.*           aggregated over MM shards
+//   gc.*           garbage collection
+// (The catalog lives in docs/OBSERVABILITY.md.)
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace sqos::dfs {
+class Cluster;
+}
+
+namespace sqos::stats {
+
+void collect_obs_metrics(const dfs::Cluster& cluster, obs::MetricsRegistry& registry);
+
+}  // namespace sqos::stats

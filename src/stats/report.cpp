@@ -1,5 +1,8 @@
 #include "stats/report.hpp"
 
+#include <cmath>
+#include <cstdio>
+
 #include "util/table.hpp"
 
 namespace sqos::stats {
@@ -15,6 +18,23 @@ std::string render_rm_report(dfs::Cluster& cluster) {
                    std::to_string(rm.stored_file_count()), rm.disk().used().to_string(),
                    format_percent(rm.ledger().overallocate_ratio(), 2),
                    rm.is_online() ? "yes" : "NO"});
+  }
+  return table.render();
+}
+
+std::string render_obs_metrics(const std::vector<obs::MetricSample>& metrics) {
+  AsciiTable table{"Observability metrics"};
+  table.set_header({"metric", "value"});
+  char buf[64];
+  for (const obs::MetricSample& m : metrics) {
+    // Counters are whole numbers; print them without a fraction so the
+    // table reads like the counter values they are.
+    if (m.value == std::floor(m.value) && std::fabs(m.value) < 9.0e15) {
+      std::snprintf(buf, sizeof buf, "%.0f", m.value);
+    } else {
+      std::snprintf(buf, sizeof buf, "%.3f", m.value);
+    }
+    table.add_row({m.name, buf});
   }
   return table.render();
 }

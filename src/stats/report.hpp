@@ -2,13 +2,19 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "dfs/cluster.hpp"
+#include "obs/metrics.hpp"
 
 namespace sqos::stats {
 
 /// Per-RM state table: name, cap, current allocation, stored files, disk
 /// use, over-allocate ratio so far, liveness.
 [[nodiscard]] std::string render_rm_report(dfs::Cluster& cluster);
+
+/// Observability-metric table (collect_obs_metrics snapshot): one name/value
+/// row per metric, in the snapshot's deterministic sorted order.
+[[nodiscard]] std::string render_obs_metrics(const std::vector<obs::MetricSample>& metrics);
 
 }  // namespace sqos::stats

@@ -27,6 +27,17 @@ enum class FlowKind : std::uint8_t {
   kReplicationOut,  // source side of a replication copy
 };
 
+/// Stable lowercase label, used by trace span arguments and reports.
+[[nodiscard]] constexpr const char* to_string(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kRead: return "read";
+    case FlowKind::kWrite: return "write";
+    case FlowKind::kReplicationIn: return "replication-in";
+    case FlowKind::kReplicationOut: return "replication-out";
+  }
+  return "unknown";
+}
+
 struct Flow {
   FlowId id{};
   FlowKind kind = FlowKind::kRead;

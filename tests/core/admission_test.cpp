@@ -1,0 +1,52 @@
+#include "core/admission.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::core {
+namespace {
+
+BidInfo bid_with_rem(double b_rem_bps) {
+  BidInfo bid;
+  bid.b_rem_bps = b_rem_bps;
+  return bid;
+}
+
+TEST(Admission, FirmRequiresRemainingAtLeastRequested) {
+  const Bandwidth req = Bandwidth::mbps(2.0);
+  EXPECT_TRUE(admits(AllocationMode::kFirm, bid_with_rem(req.bps() + 1.0), req));
+  EXPECT_TRUE(admits(AllocationMode::kFirm, bid_with_rem(req.bps()), req));  // boundary
+  EXPECT_FALSE(admits(AllocationMode::kFirm, bid_with_rem(req.bps() - 1.0), req));
+  EXPECT_FALSE(admits(AllocationMode::kFirm, bid_with_rem(0.0), req));
+}
+
+TEST(Admission, SoftAlwaysAdmits) {
+  const Bandwidth req = Bandwidth::mbps(8.0);
+  EXPECT_TRUE(admits(AllocationMode::kSoft, bid_with_rem(0.0), req));
+  EXPECT_TRUE(admits(AllocationMode::kSoft, bid_with_rem(-1.0), req));
+}
+
+TEST(Admission, FilterAdmissiblePreservesOrder) {
+  const Bandwidth req = Bandwidth::mbps(1.0);
+  const std::vector<BidInfo> bids{
+      bid_with_rem(req.bps() * 2.0),   // admissible
+      bid_with_rem(req.bps() * 0.5),   // too little headroom
+      bid_with_rem(req.bps()),         // exactly enough
+      bid_with_rem(0.0),               // saturated
+  };
+
+  const std::vector<std::size_t> firm = filter_admissible(AllocationMode::kFirm, bids, req);
+  ASSERT_EQ(firm.size(), 2u);
+  EXPECT_EQ(firm[0], 0u);
+  EXPECT_EQ(firm[1], 2u);
+
+  const std::vector<std::size_t> soft = filter_admissible(AllocationMode::kSoft, bids, req);
+  ASSERT_EQ(soft.size(), bids.size());
+  for (std::size_t i = 0; i < soft.size(); ++i) EXPECT_EQ(soft[i], i);
+}
+
+TEST(Admission, FilterAdmissibleHandlesEmptyBidSet) {
+  EXPECT_TRUE(filter_admissible(AllocationMode::kFirm, {}, Bandwidth::mbps(1.0)).empty());
+}
+
+}  // namespace
+}  // namespace sqos::core

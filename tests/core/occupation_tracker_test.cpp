@@ -1,0 +1,63 @@
+#include "core/occupation_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/sim_time.hpp"
+
+namespace sqos::core {
+namespace {
+
+TEST(OccupationTracker, EmptyTrackerHasZeroAverage) {
+  OccupationTracker tracker;
+  EXPECT_EQ(tracker.file_count(), 0u);
+  EXPECT_EQ(tracker.average(), SimTime::zero());
+}
+
+TEST(OccupationTracker, AverageTracksAddAndRemove) {
+  OccupationTracker tracker;
+  tracker.add_file(SimTime::seconds(10.0));
+  tracker.add_file(SimTime::seconds(30.0));
+  EXPECT_EQ(tracker.file_count(), 2u);
+  EXPECT_NEAR(tracker.average().as_seconds(), 20.0, 1e-9);
+
+  tracker.remove_file(SimTime::seconds(30.0));
+  EXPECT_EQ(tracker.file_count(), 1u);
+  EXPECT_NEAR(tracker.average().as_seconds(), 10.0, 1e-9);
+}
+
+TEST(OccupationTracker, BiasMatchesExponentialFormula) {
+  OccupationTracker tracker;
+  tracker.add_file(SimTime::seconds(20.0));  // T_ocp_avg = 20 s
+  // e^(−T_ocp_avg / T_ocp) for a 10 s request: e^−2.
+  EXPECT_NEAR(tracker.bias(SimTime::seconds(10.0)), std::exp(-2.0), 1e-12);
+  // Long-running requests approach e^0 = 1 from below.
+  EXPECT_NEAR(tracker.bias(SimTime::seconds(2000.0)), std::exp(-0.01), 1e-12);
+  EXPECT_LT(tracker.bias(SimTime::seconds(10.0)), tracker.bias(SimTime::seconds(40.0)));
+}
+
+TEST(OccupationTracker, BiasEdgeConventionsStayInUnitInterval) {
+  OccupationTracker tracker;
+  // Empty RM: e^0 = 1 regardless of the request.
+  EXPECT_DOUBLE_EQ(tracker.bias(SimTime::seconds(5.0)), 1.0);
+  tracker.add_file(SimTime::seconds(60.0));
+  // Degenerate zero-length occupation: defined as 1.
+  EXPECT_DOUBLE_EQ(tracker.bias(SimTime::zero()), 1.0);
+  const double b = tracker.bias(SimTime::seconds(1.0));
+  EXPECT_GT(b, 0.0);
+  EXPECT_LE(b, 1.0);
+}
+
+TEST(OccupationTracker, RemoveClampsFloatDrift) {
+  OccupationTracker tracker;
+  tracker.add_file(SimTime::seconds(1.0));
+  tracker.add_file(SimTime::seconds(1.0));
+  tracker.remove_file(SimTime::seconds(1.0));
+  tracker.remove_file(SimTime::seconds(1.0));
+  EXPECT_EQ(tracker.file_count(), 0u);
+  EXPECT_EQ(tracker.average(), SimTime::zero());
+}
+
+}  // namespace
+}  // namespace sqos::core

@@ -1,0 +1,105 @@
+// Golden-trace regression gate: the Chrome trace-event capture of a
+// fixed-seed run is a pure function of the run, so it must be byte-identical
+// across repeats, across jobs= values, and against the committed golden.
+// Refresh procedure (after an intentional instrumentation change):
+//   SQOS_UPDATE_GOLDEN=1 ./build/tests/integration_tests
+//       --gtest_filter='GoldenTrace.MatchesCommittedGolden'
+// then review and commit the regenerated file (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace sqos {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  if (!in.good()) return {};
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+/// Equality on multi-KB traces with a readable failure: sizes plus the
+/// offset and context of the first divergence instead of a full dump.
+void expect_same_trace(const std::string& got, const std::string& want,
+                       const std::string& what) {
+  if (got == want) return;
+  std::size_t i = 0;
+  while (i < got.size() && i < want.size() && got[i] == want[i]) ++i;
+  const auto context = [i](const std::string& s) {
+    const std::size_t from = i < 40 ? 0 : i - 40;
+    return s.substr(from, 80);
+  };
+  ADD_FAILURE() << what << ": traces differ (" << got.size() << " vs " << want.size()
+                << " bytes), first divergence at byte " << i << "\n  got:  ..."
+                << context(got) << "...\n  want: ..." << context(want) << "...";
+}
+
+/// A shrunk Table-1 cell: firm mode, α-only policy, few users, small
+/// catalog — enough traffic to exercise negotiation, transfers, rejects and
+/// the queue-depth probe while keeping the committed golden small.
+exp::ExperimentParams golden_params() {
+  exp::ExperimentParams params;
+  params.users = 6;
+  params.mode = core::AllocationMode::kFirm;
+  params.policy = core::PolicyWeights::p100();
+  params.seed = 1;
+  params.catalog.file_count = 40;
+  return params;
+}
+
+std::string run_with_trace(const std::string& name, std::size_t seeds, std::size_t jobs) {
+  const std::string path = ::testing::TempDir() + name;
+  exp::ExperimentParams params = golden_params();
+  params.obs_trace_path = path;
+  (void)exp::run_averaged(params, seeds, jobs);
+  std::string trace = read_file(path);
+  std::remove(path.c_str());
+  return trace;
+}
+
+TEST(GoldenTrace, RepeatedRunsAreByteIdentical) {
+  const std::string first = run_with_trace("golden_trace_a.json", 1, 1);
+  const std::string second = run_with_trace("golden_trace_b.json", 1, 1);
+  ASSERT_FALSE(first.empty());
+  expect_same_trace(second, first, "repeat run");
+}
+
+TEST(GoldenTrace, TraceIsIndependentOfJobsValue) {
+  // Two seeds: only seed 0 records, so the parallel fan-out must not let
+  // the second worker touch (or race) the trace.
+  const std::string serial = run_with_trace("golden_trace_j1.json", 2, 1);
+  const std::string parallel = run_with_trace("golden_trace_j4.json", 2, 4);
+  ASSERT_FALSE(serial.empty());
+  expect_same_trace(parallel, serial, "jobs=4 vs jobs=1");
+}
+
+TEST(GoldenTrace, MatchesCommittedGolden) {
+  const std::string golden_path = std::string{SQOS_GOLDEN_DIR} + "/table1_small_trace.json";
+  const std::string trace = run_with_trace("golden_trace_g.json", 1, 1);
+  ASSERT_FALSE(trace.empty());
+
+  if (std::getenv("SQOS_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out{golden_path, std::ios::binary | std::ios::trunc};
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << trace;
+    ASSERT_TRUE(out.good());
+    GTEST_SKIP() << "golden regenerated at " << golden_path << " — review and commit it";
+  }
+
+  const std::string golden = read_file(golden_path);
+  ASSERT_FALSE(golden.empty()) << "missing golden " << golden_path
+                               << " (regenerate with SQOS_UPDATE_GOLDEN=1)";
+  expect_same_trace(trace, golden, "committed golden");
+}
+
+}  // namespace
+}  // namespace sqos

@@ -1,0 +1,82 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksLastMaxAndSampleCount) {
+  Gauge g;
+  EXPECT_EQ(g.samples(), 0u);
+  g.observe(3.0);
+  g.observe(7.0);
+  g.observe(5.0);
+  EXPECT_DOUBLE_EQ(g.last(), 5.0);
+  EXPECT_DOUBLE_EQ(g.max(), 7.0);
+  EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(Gauge, MaxHandlesAllNegativeObservations) {
+  Gauge g;
+  g.observe(-4.0);
+  g.observe(-9.0);
+  EXPECT_DOUBLE_EQ(g.max(), -4.0);
+  EXPECT_DOUBLE_EQ(g.last(), -9.0);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("x");
+  a.add(2);
+  registry.counter("x").add(3);
+  EXPECT_EQ(registry.counter("x").value(), 5u);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedAndExpandsGauges) {
+  MetricsRegistry registry;
+  registry.counter("z.count").add(9);
+  registry.counter("a.count").add(1);
+  Gauge& depth = registry.gauge("m.depth");
+  depth.observe(4.0);
+  depth.observe(2.0);
+
+  const std::vector<MetricSample> snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap[0].name, "a.count");
+  EXPECT_DOUBLE_EQ(snap[0].value, 1.0);
+  EXPECT_EQ(snap[1].name, "m.depth.last");
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+  EXPECT_EQ(snap[2].name, "m.depth.max");
+  EXPECT_DOUBLE_EQ(snap[2].value, 4.0);
+  EXPECT_EQ(snap[3].name, "z.count");
+  EXPECT_DOUBLE_EQ(snap[3].value, 9.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsDeterministicAcrossInsertionOrders) {
+  MetricsRegistry forward;
+  forward.counter("one").add(1);
+  forward.counter("two").add(2);
+  MetricsRegistry backward;
+  backward.counter("two").add(2);
+  backward.counter("one").add(1);
+
+  const auto a = forward.snapshot();
+  const auto b = backward.snapshot();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace sqos::obs

@@ -1,0 +1,102 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::obs {
+namespace {
+
+TEST(Tracer, RegistersTracksInOrder) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  EXPECT_EQ(tracer.register_track("alpha"), 0u);
+  EXPECT_EQ(tracer.register_track("beta"), 1u);
+  EXPECT_EQ(tracer.track_count(), 2u);
+}
+
+TEST(Tracer, EmitsChromeTraceEventPhases) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId track = tracer.register_track("DFSC1");
+
+  sim.schedule_at(SimTime::millis(2), [&] {
+    tracer.instant(track, "cfp", "ecnp", {arg("file", std::uint64_t{7})});
+  });
+  sim.schedule_at(SimTime::millis(5), [&] {
+    tracer.complete(track, "negotiate", "ecnp", SimTime::millis(2),
+                    {arg("winner", "RM1")});
+    tracer.counter(track, "depth", 3.0);
+  });
+  sim.run();
+
+  EXPECT_EQ(tracer.event_count(), 3u);
+  const std::string json = tracer.to_json();
+  // Metadata names the process and the track.
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"DFSC1\""), std::string::npos);
+  // Instant at t=2 ms, span [2, 5] ms, counter sample.
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":2000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":3000"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"file\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"winner\":\"RM1\""), std::string::npos);
+}
+
+TEST(Tracer, EscapesJsonStringValues) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId track = tracer.register_track("t");
+  tracer.instant(track, "odd \"name\"", "cat", {arg("v", "line\nbreak\tand \\ quote \"")});
+  const std::string json = tracer.to_json();
+  EXPECT_NE(json.find("odd \\\"name\\\""), std::string::npos);
+  EXPECT_NE(json.find("line\\nbreak\\tand \\\\ quote \\\""), std::string::npos);
+}
+
+TEST(Tracer, IdenticalRecordingsRenderByteIdenticalJson) {
+  const auto record = [] {
+    sim::Simulator sim;
+    Tracer tracer{sim};
+    const TrackId track = tracer.register_track("RM1");
+    sim.schedule_at(SimTime::millis(1), [&] {
+      tracer.counter(track, "allocated_mbps", 12.5);
+      tracer.instant(track, "reject", "ecnp", {arg("reason", "no_bandwidth")});
+    });
+    sim.run();
+    return tracer.to_json();
+  };
+  EXPECT_EQ(record(), record());
+}
+
+TEST(Tracer, WriteFileMatchesToJson) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  const TrackId track = tracer.register_track("w");
+  tracer.instant(track, "mark", "test");
+
+  const std::string path = ::testing::TempDir() + "sqos_trace_test.json";
+  ASSERT_TRUE(tracer.write_file(path).is_ok());
+  std::ifstream in{path, std::ios::binary};
+  ASSERT_TRUE(in.good());
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), tracer.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, WriteFileFailsLoudlyOnBadPath) {
+  sim::Simulator sim;
+  Tracer tracer{sim};
+  EXPECT_FALSE(tracer.write_file("/nonexistent-dir/trace.json").is_ok());
+}
+
+}  // namespace
+}  // namespace sqos::obs

@@ -1,0 +1,64 @@
+#include "stats/rm_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_cluster.hpp"
+
+namespace sqos::stats {
+namespace {
+
+TEST(RmMonitor, SamplesAtEveryIntervalUpToDeadline) {
+  auto cluster = testing::make_small_cluster();
+  cluster->start();
+  RmMonitor monitor{*cluster, SimTime::seconds(1.0)};
+  monitor.start(SimTime::seconds(5.0));  // t = 0,1,2,3,4,5 inclusive
+  cluster->simulator().run();
+
+  ASSERT_EQ(monitor.samples().size(), 6u);
+  EXPECT_EQ(monitor.samples().front().time, SimTime::zero());
+  EXPECT_EQ(monitor.samples().back().time, SimTime::seconds(5.0));
+  for (const RmMonitor::Sample& s : monitor.samples()) {
+    EXPECT_EQ(s.allocated_bps.size(), cluster->rm_count());
+  }
+}
+
+TEST(RmMonitor, SeriesTracksAllocationOfActiveStream) {
+  auto cluster = testing::make_small_cluster();
+  ASSERT_TRUE(cluster->place_replica(0, 1).is_ok());  // file 1 on RM1 only
+  cluster->start();
+  sim::Simulator& sim = cluster->simulator();
+  sim.run_until(SimTime::seconds(1.0));  // registration settles
+
+  RmMonitor monitor{*cluster, SimTime::seconds(10.0)};
+  monitor.start(SimTime::seconds(51.0));
+  cluster->client(0).stream_file(1);  // 1 Mbit/s for 100 s
+  sim.run();
+
+  const std::vector<double> rm1 = monitor.series(0);
+  ASSERT_EQ(rm1.size(), monitor.samples().size());
+  // Mid-stream samples must see the allocation held on RM1; the other RMs
+  // never serve the file.
+  EXPECT_GT(rm1.at(2), 0.0);
+  for (std::size_t rm = 1; rm < cluster->rm_count(); ++rm) {
+    for (const double v : monitor.series(rm)) EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(RmMonitor, AggregatedSeriesSumsSelectedRms) {
+  auto cluster = testing::make_small_cluster();
+  cluster->start();
+  RmMonitor monitor{*cluster, SimTime::seconds(1.0)};
+  monitor.start(SimTime::seconds(2.0));
+  cluster->simulator().run();
+
+  const std::vector<double> total = monitor.aggregated_series({0, 1, 2});
+  ASSERT_EQ(total.size(), monitor.samples().size());
+  for (std::size_t i = 0; i < total.size(); ++i) {
+    const double expected =
+        monitor.series(0).at(i) + monitor.series(1).at(i) + monitor.series(2).at(i);
+    EXPECT_DOUBLE_EQ(total[i], expected);
+  }
+}
+
+}  // namespace
+}  // namespace sqos::stats

@@ -1,0 +1,17 @@
+// Fixture: tracing code is scanned by the path-scoped rules — src/obs/ gets
+// the no-wallclock rule (timestamps must be simulator time) and the hot-path
+// std::function rule (the tracer runs inside component hot paths).
+// Line numbers are asserted exactly by lint_tool_test.cpp — keep stable.
+#include <chrono>
+#include <functional>
+
+namespace fixture {
+
+long stamp_span() {
+  auto wall = std::chrono::steady_clock::now();             // line 11: steady_clock
+  std::function<void()> flush = [] {};                      // line 12: std::function
+  flush();
+  return wall.time_since_epoch().count() + time(nullptr);   // line 14: time(
+}
+
+}  // namespace fixture

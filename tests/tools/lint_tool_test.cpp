@@ -75,6 +75,15 @@ TEST(SqosLint, NoStdFunctionFlagsHotpathDirsOnly) {
   EXPECT_TRUE(linter.run().empty());
 }
 
+TEST(SqosLint, ObsTracingCodeIsScannedByWallclockAndHotpathRules) {
+  // src/obs/ is in scope for both the repo-wide no-wallclock rule and the
+  // hot-path std::function rule — tracing must stamp simulator time only.
+  EXPECT_EQ(lint_one("src/obs/bad_trace_wallclock.cpp"),
+            (Expected{{"no-wallclock", 11},
+                      {"no-std-function-hotpath", 12},
+                      {"no-wallclock", 14}}));
+}
+
 TEST(SqosLint, NoPointerKeyedOrderFlagsPointerKeysNotPointerValues) {
   EXPECT_EQ(lint_one("src/dfs/bad_pointer_key.cpp"),
             (Expected{{"no-pointer-keyed-order", 13}, {"no-pointer-keyed-order", 14}}));
@@ -143,6 +152,7 @@ TEST(SqosLint, WholeFixtureTreeFindingsAreDeterministicallySorted) {
       "src/core/bad_result.hpp",       "src/dfs/bad_pointer_key.cpp",
       "src/dfs/bad_rng.cpp",           "src/dfs/bad_suppression.cpp",
       "src/dfs/suppressed_ok.cpp",     "src/net/bad_guard.hpp",
+      "src/obs/bad_trace_wallclock.cpp",
       "src/sim/bad_std_function.cpp",  "src/sim/bad_wallclock.cpp",
       "src/storage/bad_unordered_iter.cpp",
       "src/storage/unused_suppression.cpp", "src/util/bad_static.cpp",
@@ -150,7 +160,7 @@ TEST(SqosLint, WholeFixtureTreeFindingsAreDeterministicallySorted) {
   Linter linter;
   for (const std::string& rel : rels) linter.add_file(rel, read_fixture(rel));
   const std::vector<Finding> findings = linter.run();
-  EXPECT_EQ(findings.size(), 26u);
+  EXPECT_EQ(findings.size(), 29u);
   EXPECT_TRUE(std::is_sorted(findings.begin(), findings.end(),
                              [](const Finding& a, const Finding& b) {
                                return std::tie(a.file, a.line, a.rule) <

@@ -318,12 +318,16 @@ bool is_header(std::string_view path) {
 bool in_src(std::string_view path) { return starts_with(path, "src/"); }
 
 bool in_hotpath_dirs(std::string_view path) {
-  return starts_with(path, "src/sim/") || starts_with(path, "src/storage/");
+  // The tracer runs inside component hot paths whenever recording is on, so
+  // src/obs/ is held to the same allocation/dispatch discipline.
+  return starts_with(path, "src/sim/") || starts_with(path, "src/storage/") ||
+         starts_with(path, "src/obs/");
 }
 
 bool in_ordered_iteration_dirs(std::string_view path) {
   return starts_with(path, "src/sim/") || starts_with(path, "src/storage/") ||
-         starts_with(path, "src/dfs/") || starts_with(path, "src/net/");
+         starts_with(path, "src/dfs/") || starts_with(path, "src/net/") ||
+         starts_with(path, "src/obs/");
 }
 
 /// Files allowed to touch wall-clock time: a future real-time shim would

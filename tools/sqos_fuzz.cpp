@@ -27,6 +27,11 @@
 //                            (only live [WARN] diagnostics may interleave)
 //   --inject-overallocation-bug   RMs skip firm admission (must be caught)
 //   --print-schedule         dump the generated op schedule before running
+//   --trace-on-failure[=PREFIX]   [fuzz-trace] on invariant failure, write a
+//                            Chrome trace of the full run (not the minimize
+//                            re-runs) to PREFIX-seed<N>.json; recording adds
+//                            no events, so verdicts and repro lines are
+//                            unchanged
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +60,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 1;
   std::uint64_t jobs = 1;
   bool print_schedule = false;
+  std::string trace_prefix;  // empty = no failure traces
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -88,6 +94,14 @@ int main(int argc, char** argv) {
       continue;
     }
     if (std::strcmp(arg, "--print-schedule") == 0) { print_schedule = true; continue; }
+    if (std::strcmp(arg, "--trace-on-failure") == 0) {
+      trace_prefix = "fuzz-trace";
+      continue;
+    }
+    if (std::strncmp(arg, "--trace-on-failure=", 19) == 0) {
+      trace_prefix = arg + 19;
+      continue;
+    }
     std::fprintf(stderr, "unknown flag %s (see header comment)\n", arg);
     return 2;
   }
@@ -111,9 +125,14 @@ int main(int argc, char** argv) {
   // value (Log warnings are emitted live by workers and may interleave).
   exp::ParallelRunner pool{static_cast<std::size_t>(jobs)};
   const std::vector<check::FuzzResult> results =
-      pool.map<check::FuzzResult>(static_cast<std::size_t>(seeds), [&options](std::size_t s) {
+      pool.map<check::FuzzResult>(static_cast<std::size_t>(seeds),
+                                  [&options, &trace_prefix](std::size_t s) {
         check::FuzzOptions run_options = options;
         run_options.seed = options.seed + s;
+        if (!trace_prefix.empty()) {
+          run_options.trace_path =
+              trace_prefix + "-seed" + std::to_string(run_options.seed) + ".json";
+        }
         check::OpFuzzer fuzzer{run_options};
         return fuzzer.run();
       });

@@ -28,6 +28,10 @@
 //                             output is identical at every jobs value)
 //   monitor=S       [0]       bandwidth-sampling interval (0 = off)
 //   csv=path        []        per-RM summary CSV
+//   trace=path      []        Chrome trace-event JSON of the first seed's
+//                             run (load in chrome://tracing or Perfetto;
+//                             byte-identical across repeats and jobs=)
+//   metrics=0|1     [0]       print the observability-counter table
 #include <cstdio>
 
 #include "exp/experiment.hpp"
@@ -84,6 +88,9 @@ int main(int argc, char** argv) {
   params.catalog.duration_min_s = cfg.get_double("dur_min", params.catalog.duration_min_s);
   params.catalog.duration_max_s = cfg.get_double("dur_max", params.catalog.duration_max_s);
   params.monitor_interval = SimTime::seconds(cfg.get_double("monitor", 0.0));
+  if (const std::string trace = cfg.get_string("trace", ""); !trace.empty()) {
+    params.obs_trace_path = trace;
+  }
 
   const auto shards = static_cast<std::size_t>(cfg.get_int("shards", 1));
   const double cache_ttl = cfg.get_double("cache_ttl", 0.0);
@@ -103,6 +110,13 @@ int main(int argc, char** argv) {
 
   const exp::ExperimentResult r = exp::run_averaged(params, seeds, jobs);
   std::fputs(exp::summarize(r).c_str(), stdout);
+  if (cfg.get_bool("metrics", false)) {
+    std::fputs(stats::render_obs_metrics(r.obs_metrics).c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+  if (params.obs_trace_path.has_value()) {
+    std::printf("trace: wrote %s\n", params.obs_trace_path->c_str());
+  }
 
   AsciiTable table{"\nPer-RM summary"};
   table.set_header({"RM", "cap", "assigned MiB", "over-alloc MiB", "R_OA"});
