@@ -151,6 +151,12 @@ inline void record_cell_json(const exp::ExperimentParams& params,
         MetricGoal::kExact);
   r.add(cell + "control_bytes", static_cast<double>(result.control_bytes), "bytes",
         MetricGoal::kExact);
+  // Total simulator events: the work measure behind events/sec curves, and a
+  // whole-run determinism fingerprint (any event added or dropped anywhere
+  // in the run moves it). New in later documents — gate_compare reports
+  // current-only metrics as advisory, so old baselines still gate cleanly.
+  r.add(cell + "executed_events", static_cast<double>(result.executed_events), "",
+        MetricGoal::kExact);
   r.add(cell + "wall_ms", wall_ms, "ms", MetricGoal::kInfo);
   // Observability counters ride along as goal=info: gate_compare treats new
   // and missing info metrics as informational, so adding them never breaks
@@ -221,6 +227,16 @@ class CellSweep {
       std::exit(1);
     }
     return cells_[id].result;
+  }
+
+  /// Wall-clock compute time of one cell as measured on its worker (valid
+  /// after run()) — the denominator for events/sec reporting.
+  [[nodiscard]] double wall_ms(std::size_t id) const {
+    if (id >= cells_.size()) {
+      std::fprintf(stderr, "CellSweep: bad cell handle %zu\n", id);
+      std::exit(1);
+    }
+    return cells_[id].wall_ms;
   }
 
  private:

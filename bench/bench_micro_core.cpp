@@ -26,9 +26,12 @@
 #include <vector>
 
 #include "core/bid.hpp"
+#include "core/destination_selector.hpp"
 #include "core/file_heat.hpp"
 #include "core/history_window.hpp"
 #include "core/selection_policy.hpp"
+#include "core/selection_tree.hpp"
+#include "dfs/metadata_manager.hpp"
 #include "net/latency_model.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
@@ -252,6 +255,94 @@ double flow_ledger_ns(std::size_t iters) {
   return elapsed_ns(t0, t1) / (2.0 * static_cast<double>(iters));
 }
 
+/// One CFP winner selection over 128 bids via the tree-backed fast path:
+/// score fill into a reused buffer + choose_scored against a scratch index.
+/// Regression guard for the zero-allocation selection wiring — the pre-tree
+/// client copied the candidate vector and re-scored per decision.
+double policy_select_ns(std::size_t iters) {
+  Rng rng{5};
+  constexpr std::size_t kBids = 128;
+  std::vector<core::BidInfo> bids(kBids);
+  for (std::size_t i = 0; i < kBids; ++i) {
+    bids[i].b_rem_bps = 1e6 * static_cast<double>(rng.next_below(4));  // tie-heavy
+    bids[i].trend_bps = 0.0;
+    bids[i].occupation_bias = rng.uniform(0.1, 1.0);
+    bids[i].b_req_bps = 175e3;
+  }
+  const core::SelectionPolicy policy{core::PolicyWeights::p111()};
+  core::SelectionTree scratch;
+  std::vector<double> scores;
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    bids[i % kBids].b_rem_bps = 1e6 * static_cast<double>(i % 4);
+    scores.clear();
+    for (const core::BidInfo& b : bids) scores.push_back(policy.score(b));
+    const auto pick = policy.choose_scored(kBids, scores, rng, scratch);
+    sink += pick.value_or(0);
+  }
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(sink);
+  return elapsed_ns(t0, t1) / static_cast<double>(iters);
+}
+
+/// One MM replica-list answer against a 1024-RM catalog: the COW snapshot
+/// hit path. Regression guard for the per-query non-holder vector the
+/// pre-tree MM materialized (O(RMs) work and allocation per CFP round).
+double replica_query_ns(std::size_t iters) {
+  dfs::MetadataManager mm{net::NodeId{0}};
+  constexpr std::size_t kRms = 1024;
+  constexpr std::uint64_t kFiles = 128;
+  for (std::size_t r = 0; r < kRms; ++r) {
+    dfs::RegisterMsg msg;
+    msg.rm = net::NodeId{static_cast<std::uint32_t>(r + 1)};
+    msg.dispatched_bandwidth = Bandwidth::mbps(r % 8 == 0 ? 128.0 : 18.0);
+    msg.disk_capacity = Bytes::gib(16.0);
+    msg.stored_files = {1 + (r % kFiles), 1 + ((r + 7) % kFiles)};
+    mm.handle_register(std::move(msg));
+  }
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const dfs::ReplicaListReplyMsg reply = mm.handle_replica_list_query(1 + (i % kFiles));
+    sink += reply.current_replicas + reply.non_holder_slot(i % reply.non_holder_count());
+  }
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(sink);
+  return elapsed_ns(t0, t1) / static_cast<double>(iters);
+}
+
+/// One replication-destination pick (LBF, 3 copies) from a 1024-slot
+/// bandwidth index with 3 holders excluded. Regression guard for the
+/// tree-backed destination path and the reused permutation/scratch buffers
+/// (the pre-tree agent materialized a candidate vector per planned file and
+/// Fisher-Yates-allocated per selection).
+double dest_select_ns(std::size_t iters) {
+  constexpr std::size_t kSlots = 1024;
+  std::vector<double> keys(kSlots);
+  for (std::size_t s = 0; s < kSlots; ++s) {
+    keys[s] = s % 8 == 0 ? 128.0e6 : (s % 2 == 0 ? 18.0e6 : 19.0e6);
+  }
+  core::SelectionTree tree;
+  tree.build(keys);
+  Rng rng{6};
+  core::DestinationScratch scratch;
+  std::vector<std::uint32_t> picks;
+  std::uint64_t sink = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t i = 0; i < iters; ++i) {
+    const auto base = static_cast<std::uint32_t>(i % (kSlots - 3));
+    const std::uint32_t holders[] = {base, base + 1, base + 2};
+    const core::DestinationPool pool{&tree, holders};
+    core::select_destination_slots(core::DestinationStrategy::kLargestBandwidthFirst, pool, 3,
+                                   rng, scratch, picks);
+    for (const std::uint32_t p : picks) sink += p;
+  }
+  const auto t1 = Clock::now();
+  benchmark::DoNotOptimize(sink);
+  return elapsed_ns(t0, t1) / static_cast<double>(iters);
+}
+
 double peak_rss_bytes() {
   struct rusage usage {};
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
@@ -283,6 +374,9 @@ int run_perf_runner(const Config& cfg) {
   const double cancel = best_of(reps, [&] { return event_cancel_ns(iters / 2); });
   const double net = best_of(reps, [&] { return net_delivery_ns(iters / 2); });
   const double flow = best_of(reps, [&] { return flow_ledger_ns(iters / 2); });
+  const double select = best_of(reps, [&] { return policy_select_ns(iters / 8); });
+  const double query = best_of(reps, [&] { return replica_query_ns(iters / 8); });
+  const double dest = best_of(reps, [&] { return dest_select_ns(iters / 8); });
   const double rss = peak_rss_bytes();
   const double events_per_sec = 1e9 / churn;
 
@@ -306,12 +400,18 @@ int run_perf_runner(const Config& cfg) {
   report.add("event_cancel.ns_per_op", cancel, "ns", MetricGoal::kInfo);
   report.add("net_delivery.ns_per_message", net, "ns", MetricGoal::kInfo);
   report.add("flow_ledger.ns_per_update", flow, "ns", MetricGoal::kInfo);
+  report.add("policy_select.ns_per_decision", select, "ns", MetricGoal::kInfo);
+  report.add("replica_query.ns_per_query", query, "ns", MetricGoal::kInfo);
+  report.add("dest_select.ns_per_pick", dest, "ns", MetricGoal::kInfo);
   // ... and spin-normalized costs, which the CI perf gate compares across
   // machines (dimensionless: phase ns / calibration-spin ns).
   report.add("event_churn.norm_cost", churn / spin, "x", MetricGoal::kLowerIsBetter);
   report.add("event_cancel.norm_cost", cancel / spin, "x", MetricGoal::kLowerIsBetter);
   report.add("net_delivery.norm_cost", net / spin, "x", MetricGoal::kLowerIsBetter);
   report.add("flow_ledger.norm_cost", flow / spin, "x", MetricGoal::kLowerIsBetter);
+  report.add("policy_select.norm_cost", select / spin, "x", MetricGoal::kLowerIsBetter);
+  report.add("replica_query.norm_cost", query / spin, "x", MetricGoal::kLowerIsBetter);
+  report.add("dest_select.norm_cost", dest / spin, "x", MetricGoal::kLowerIsBetter);
 
   std::printf("calibration spin      %8.2f ns/iter\n", spin);
   std::printf("event churn           %8.2f ns/event  (%.0f events/sec, %.1fx spin)\n", churn,
@@ -319,6 +419,9 @@ int run_perf_runner(const Config& cfg) {
   std::printf("event cancel          %8.2f ns/op     (%.1fx spin)\n", cancel, cancel / spin);
   std::printf("net delivery          %8.2f ns/msg    (%.1fx spin)\n", net, net / spin);
   std::printf("flow+ledger cycle     %8.2f ns/update (%.1fx spin)\n", flow, flow / spin);
+  std::printf("policy select (128)   %8.2f ns/decide (%.1fx spin)\n", select, select / spin);
+  std::printf("replica query (1024)  %8.2f ns/query  (%.1fx spin)\n", query, query / spin);
+  std::printf("dest select (1024)    %8.2f ns/pick   (%.1fx spin)\n", dest, dest / spin);
   std::printf("peak RSS              %8.1f MiB\n", rss / (1024.0 * 1024.0));
 
   if (!json_path.empty()) {

@@ -49,6 +49,19 @@ std::string FuzzResult::repro_line() const {
   std::string line = "--seed=" + std::to_string(seed) +
                      " --ops=" + std::to_string(options.op_count) +
                      " --audit-every=" + std::to_string(options.audit_every);
+  // Non-default topology flags ride along so the line reproduces big-cluster
+  // runs too; default topologies keep the exact historical line.
+  const FuzzOptions defaults;
+  if (options.rm_count != defaults.rm_count) line += " --rms=" + std::to_string(options.rm_count);
+  if (options.client_count != defaults.client_count) {
+    line += " --clients=" + std::to_string(options.client_count);
+  }
+  if (options.mm_shards != defaults.mm_shards) {
+    line += " --shards=" + std::to_string(options.mm_shards);
+  }
+  if (options.file_count != defaults.file_count) {
+    line += " --files=" + std::to_string(options.file_count);
+  }
   if (options.with_faults) line += " --faults";
   if (options.mode == core::AllocationMode::kSoft) line += " --soft";
   if (options.inject_overallocation_bug) line += " --inject-overallocation-bug";
@@ -179,12 +192,19 @@ OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
   }
 
   dfs::ClusterConfig cfg;
-  for (std::size_t m = 0; m < options_.machine_count; ++m) {
+  // Each 80 Mbit/s machine holds at most five 16 Mbit/s RMs; topologies too
+  // big for the configured machine count grow extra machines instead of
+  // failing the dispatched-bandwidth check at build. The round-robin RM
+  // placement is unchanged for every (rm_count, machine_count) pair that
+  // already fit, so existing corpus seeds replay byte-identically.
+  const std::size_t machine_count =
+      std::max(options_.machine_count, (options_.rm_count + 4) / 5);
+  for (std::size_t m = 0; m < machine_count; ++m) {
     cfg.machines.push_back(dfs::MachineSpec{"m" + std::to_string(m), Bandwidth::mbps(80.0)});
   }
   for (std::size_t r = 0; r < options_.rm_count; ++r) {
     cfg.rms.push_back(dfs::RmSpec{"RM" + std::to_string(r), Bandwidth::mbps(16.0),
-                                  Bytes::gib(1.0), r % options_.machine_count});
+                                  Bytes::gib(1.0), r % machine_count});
   }
   cfg.client_count = options_.client_count;
   cfg.mm_shards = options_.mm_shards;

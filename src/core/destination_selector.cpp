@@ -66,4 +66,76 @@ std::vector<std::size_t> select_destinations(DestinationStrategy strategy,
   return {};
 }
 
+namespace {
+
+void pool_random(const DestinationPool& pool, std::size_t count, Rng& rng,
+                 DestinationScratch& scratch, std::vector<std::uint32_t>& out) {
+  // Draw parity with pick_random: the first k entries of a Fisher-Yates
+  // permutation depend on every draw, so all of them happen.
+  rng.permutation_into(pool.size(), scratch.order);
+  const std::size_t k = std::min(count, pool.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(pool.slot_at(scratch.order[i]));
+  }
+}
+
+void pool_lbf(const DestinationPool& pool, std::size_t count, Rng& rng,
+              DestinationScratch& scratch, std::vector<std::uint32_t>& out) {
+  const SelectionTree::Best best = pool.tree->best_excluding(pool.excluded);
+  // pick_lbf folds the max against an initial Bandwidth::zero(), so a pool
+  // whose bandwidths were all negative would select nothing. Bandwidths are
+  // non-negative in practice; the guard keeps degenerate equivalence.
+  if (best.ties == 0 || best.key < 0.0) return;
+  rng.permutation_into(best.ties, scratch.order);
+  const std::size_t k = std::min(count, static_cast<std::size_t>(best.ties));
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(pool.tree->tie_at_excluding(static_cast<std::uint32_t>(scratch.order[i]),
+                                              pool.excluded));
+  }
+}
+
+void pool_weighted(const DestinationPool& pool, std::size_t count, Rng& rng,
+                   DestinationScratch& scratch, std::vector<std::uint32_t>& out) {
+  // Sequential weighted-without-replacement needs the full distribution each
+  // draw; it stays linear, mirroring pick_weighted draw for draw.
+  scratch.pool_slots.clear();
+  scratch.pool_slots.reserve(pool.size());
+  for (std::size_t i = 0; i < pool.size(); ++i) scratch.pool_slots.push_back(pool.slot_at(i));
+  while (!scratch.pool_slots.empty() && out.size() < count) {
+    scratch.weights.clear();
+    scratch.weights.reserve(scratch.pool_slots.size());
+    double total = 0.0;
+    for (const std::uint32_t slot : scratch.pool_slots) {
+      const double w = pool.tree->key_of(slot);
+      scratch.weights.push_back(w);
+      total += w;
+    }
+    std::size_t pick = 0;
+    if (total <= 0.0) {
+      pick = rng.next_below(scratch.pool_slots.size());  // degenerate: all-zero weights
+    } else {
+      pick = rng.weighted_index(scratch.weights);
+    }
+    out.push_back(scratch.pool_slots[pick]);
+    scratch.pool_slots.erase(scratch.pool_slots.begin() + static_cast<std::ptrdiff_t>(pick));
+  }
+}
+
+}  // namespace
+
+void select_destination_slots(DestinationStrategy strategy, const DestinationPool& pool,
+                              std::size_t count, Rng& rng, DestinationScratch& scratch,
+                              std::vector<std::uint32_t>& out) {
+  out.clear();
+  if (pool.size() == 0 || count == 0) return;
+  switch (strategy) {
+    case DestinationStrategy::kRandom: pool_random(pool, count, rng, scratch, out); return;
+    case DestinationStrategy::kLargestBandwidthFirst:
+      pool_lbf(pool, count, rng, scratch, out);
+      return;
+    case DestinationStrategy::kWeighted: pool_weighted(pool, count, rng, scratch, out); return;
+  }
+  assert(false && "unknown destination strategy");
+}
+
 }  // namespace sqos::core

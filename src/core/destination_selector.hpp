@@ -3,9 +3,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/replication_config.hpp"
+#include "core/selection_tree.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -28,5 +31,50 @@ struct DestinationCandidate {
 [[nodiscard]] std::vector<std::size_t> select_destinations(
     DestinationStrategy strategy, const std::vector<DestinationCandidate>& candidates,
     std::size_t count, Rng& rng);
+
+/// The destination candidate pool expressed without materializing it: the
+/// complement of `excluded` (a file's replica-holder slots, sorted) within a
+/// bandwidth-keyed SelectionTree over every registered RM. Pool position i
+/// corresponds to candidates[i] of the equivalent materialized vector —
+/// slots ascending, holders skipped.
+struct DestinationPool {
+  const SelectionTree* tree = nullptr;       // all slots active
+  std::span<const std::uint32_t> excluded;   // sorted ascending, unique
+
+  [[nodiscard]] std::size_t size() const { return tree->slot_count() - excluded.size(); }
+
+  /// Pool position -> tree slot (rank-select over the complement,
+  /// O(|excluded|)).
+  [[nodiscard]] std::uint32_t slot_at(std::size_t i) const {
+    auto slot = static_cast<std::uint32_t>(i);
+    for (const std::uint32_t h : excluded) {
+      if (h <= slot) ++slot;
+      else break;
+    }
+    return slot;
+  }
+};
+
+/// Reusable buffers for select_destination_slots — the per-round hot path
+/// must not allocate once the high-water marks are reached.
+struct DestinationScratch {
+  std::vector<std::size_t> order;        // permutation buffer
+  std::vector<std::uint32_t> pool_slots; // weighted: mutable candidate list
+  std::vector<double> weights;
+};
+
+/// Tree-backed select_destinations over a DestinationPool, appending chosen
+/// *slots* to `out` (cleared first). Proven equivalent to the materialized
+/// linear version above: same chosen RMs in the same order, and — because
+/// the shared agent RNG threads through every later decision — the exact
+/// same RNG draws:
+///  - Random permutes the full pool (draw parity requires all n-1 draws);
+///  - LBF finds the maximum and its tie count in O(log n + |excluded| log n)
+///    and permutes only the tied slots;
+///  - Weighted reproduces the sequential weighted-without-replacement loop
+///    (inherently full-distribution, stays O(n · count)).
+void select_destination_slots(DestinationStrategy strategy, const DestinationPool& pool,
+                              std::size_t count, Rng& rng, DestinationScratch& scratch,
+                              std::vector<std::uint32_t>& out);
 
 }  // namespace sqos::core

@@ -1,5 +1,6 @@
 #include "core/selection_policy.hpp"
 
+#include <cassert>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -40,6 +41,19 @@ std::optional<std::size_t> SelectionPolicy::choose(const std::vector<BidInfo>& b
     }
   }
   return ties[ties.size() == 1 ? 0 : rng.next_below(ties.size())];
+}
+
+std::optional<std::size_t> SelectionPolicy::choose_scored(std::size_t n,
+                                                          std::span<const double> scores, Rng& rng,
+                                                          SelectionTree& scratch) const {
+  if (n == 0) return std::nullopt;
+  if (w_.is_random()) return static_cast<std::size_t>(rng.next_below(n));
+  assert(scores.size() == n);
+  scratch.build(scores);
+  const SelectionTree::Best best = scratch.best();
+  if (best.ties == 1) return static_cast<std::size_t>(best.slot);
+  return static_cast<std::size_t>(
+      scratch.tie_at(static_cast<std::uint32_t>(rng.next_below(best.ties))));
 }
 
 }  // namespace sqos::core

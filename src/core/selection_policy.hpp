@@ -7,10 +7,12 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "core/bid.hpp"
+#include "core/selection_tree.hpp"
 #include "util/rng.hpp"
 
 namespace sqos::core {
@@ -46,8 +48,22 @@ class SelectionPolicy {
   /// Choose among candidate bids. Random policy picks uniformly; otherwise
   /// the maximum score wins with random tie-breaking. Returns nullopt when
   /// `bids` is empty.
+  ///
+  /// This is the linear-scan reference the tree-backed path below is proven
+  /// against (tests/core/selection_diff_test.cpp); production call sites use
+  /// choose_scored.
   [[nodiscard]] std::optional<std::size_t> choose(const std::vector<BidInfo>& bids,
                                                   Rng& rng) const;
+
+  /// Tree-backed winner selection over `n` candidates whose scores were
+  /// precomputed with score(). Bit-identical to choose(): same winner index
+  /// and the same RNG consumption — one next_below(n) under the random
+  /// policy (scores may then be empty), one next_below(ties) only when the
+  /// maximum is tied. `scratch` is rebuilt each call; pass a reusable
+  /// instance so the hot path does not allocate.
+  [[nodiscard]] std::optional<std::size_t> choose_scored(std::size_t n,
+                                                         std::span<const double> scores, Rng& rng,
+                                                         SelectionTree& scratch) const;
 
  private:
   PolicyWeights w_;

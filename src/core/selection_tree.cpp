@@ -1,0 +1,152 @@
+#include "core/selection_tree.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace sqos::core {
+namespace {
+
+/// Does sorted `excluded` contain any slot in [lo, hi)?
+bool overlaps(std::span<const std::uint32_t> excluded, std::uint32_t lo, std::uint32_t hi) {
+  const auto it = std::lower_bound(excluded.begin(), excluded.end(), lo);
+  return it != excluded.end() && *it < hi;
+}
+
+}  // namespace
+
+SelectionTree::Node SelectionTree::merge(const Node& a, const Node& b) {
+  if (a.ties == 0) return b;
+  if (b.ties == 0) return a;
+  if (a.key > b.key) return a;
+  if (b.key > a.key) return b;
+  // Tied: combine counts; the representative slot is the lower one (`a` is
+  // always the left child, whose slots all precede the right child's).
+  return Node{a.key, a.ties + b.ties, std::min(a.slot, b.slot)};
+}
+
+void SelectionTree::reset(std::size_t slots) {
+  slots_ = slots;
+  leaf_base_ = static_cast<std::uint32_t>(std::bit_ceil(std::max<std::size_t>(slots, 1)));
+  nodes_.assign(static_cast<std::size_t>(leaf_base_) * 2, Node{});
+  active_ = 0;
+}
+
+void SelectionTree::build(std::span<const double> keys) {
+  reset(keys.size());
+  for (std::uint32_t s = 0; s < keys.size(); ++s) {
+    assert(!std::isnan(keys[s]) && "NaN selection key");
+    nodes_[leaf_base_ + s] = Node{keys[s], 1, s};
+  }
+  for (std::uint32_t i = leaf_base_ - 1; i >= 1; --i) {
+    nodes_[i] = merge(nodes_[2 * i], nodes_[2 * i + 1]);
+  }
+  active_ = static_cast<std::uint32_t>(keys.size());
+}
+
+void SelectionTree::pull_up(std::uint32_t leaf_index) {
+  for (std::uint32_t i = leaf_index / 2; i >= 1; i /= 2) {
+    nodes_[i] = merge(nodes_[2 * i], nodes_[2 * i + 1]);
+  }
+}
+
+void SelectionTree::set_key(std::uint32_t slot, double key) {
+  assert(slot < slots_);
+  assert(!std::isnan(key) && "NaN selection key");
+  const std::uint32_t leaf = leaf_base_ + slot;
+  if (nodes_[leaf].ties == 0) ++active_;
+  nodes_[leaf] = Node{key, 1, slot};
+  pull_up(leaf);
+}
+
+void SelectionTree::deactivate(std::uint32_t slot) {
+  assert(slot < slots_);
+  const std::uint32_t leaf = leaf_base_ + slot;
+  if (nodes_[leaf].ties == 0) return;
+  nodes_[leaf] = Node{};
+  --active_;
+  pull_up(leaf);
+}
+
+bool SelectionTree::is_active(std::uint32_t slot) const {
+  assert(slot < slots_);
+  return nodes_[leaf_base_ + slot].ties != 0;
+}
+
+double SelectionTree::key_of(std::uint32_t slot) const {
+  assert(is_active(slot));
+  return nodes_[leaf_base_ + slot].key;
+}
+
+SelectionTree::Best SelectionTree::best() const {
+  const Node& root = nodes_[1];
+  return Best{root.slot, root.key, root.ties};
+}
+
+std::uint32_t SelectionTree::select_tie(std::uint32_t node, std::uint32_t r) const {
+  const double key = nodes_[node].key;
+  assert(r < nodes_[node].ties);
+  while (node < leaf_base_) {
+    const Node& left = nodes_[2 * node];
+    const std::uint32_t in_left = (left.ties != 0 && left.key == key) ? left.ties : 0;
+    if (r < in_left) {
+      node = 2 * node;
+    } else {
+      r -= in_left;
+      node = 2 * node + 1;
+    }
+  }
+  return nodes_[node].slot;
+}
+
+std::uint32_t SelectionTree::tie_at(std::uint32_t r) const { return select_tie(1, r); }
+
+SelectionTree::Node SelectionTree::query_excluding(
+    std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+    std::span<const std::uint32_t> excluded) const {
+  if (!overlaps(excluded, lo, hi)) return nodes_[node];
+  if (node >= leaf_base_) return Node{};  // an excluded leaf
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  return merge(query_excluding(2 * node, lo, mid, excluded),
+               query_excluding(2 * node + 1, mid, hi, excluded));
+}
+
+SelectionTree::Best SelectionTree::best_excluding(
+    std::span<const std::uint32_t> excluded) const {
+  assert(std::is_sorted(excluded.begin(), excluded.end()));
+  const Node n = query_excluding(1, 0, leaf_base_, excluded);
+  return Best{n.slot, n.key, n.ties};
+}
+
+bool SelectionTree::select_tie_excluding(std::uint32_t node, std::uint32_t lo, std::uint32_t hi,
+                                         double key, std::span<const std::uint32_t> excluded,
+                                         std::uint32_t& r, std::uint32_t& out) const {
+  if (!overlaps(excluded, lo, hi)) {
+    const Node& n = nodes_[node];
+    if (n.ties == 0 || n.key != key) return false;
+    if (r < n.ties) {
+      out = select_tie(node, r);
+      return true;
+    }
+    r -= n.ties;
+    return false;
+  }
+  if (node >= leaf_base_) return false;  // an excluded leaf contributes nothing
+  const std::uint32_t mid = lo + (hi - lo) / 2;
+  if (select_tie_excluding(2 * node, lo, mid, key, excluded, r, out)) return true;
+  return select_tie_excluding(2 * node + 1, mid, hi, key, excluded, r, out);
+}
+
+std::uint32_t SelectionTree::tie_at_excluding(std::uint32_t r,
+                                              std::span<const std::uint32_t> excluded) const {
+  const Best b = best_excluding(excluded);
+  assert(r < b.ties);
+  std::uint32_t out = kNoSlot;
+  const bool found = select_tie_excluding(1, 0, leaf_base_, b.key, excluded, r, out);
+  assert(found);
+  (void)found;
+  return out;
+}
+
+}  // namespace sqos::core

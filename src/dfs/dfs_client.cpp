@@ -101,23 +101,24 @@ void DfsClient::write_file(FileId file, std::size_t replicas, Callback done) {
   MetadataManager& shard = mm_.shard_for(file);
   net_.send(id_, mm_node, net::MessageKind::kReplicaListQuery,
             ReplicaListQueryMsg::estimated_size(), [this, &shard, mm_node, write_id, file] {
-              const ReplicaListReplyMsg reply = shard.handle_replica_list_query(file);
-              std::vector<net::NodeId> candidates;
-              candidates.reserve(reply.non_holders.size());
-              for (const ReplicaHolderInfo& h : reply.non_holders) candidates.push_back(h.rm);
-              net_.send(mm_node, id_, net::MessageKind::kReplicaListReply,
-                        reply.estimated_size(), [this, write_id, candidates] {
-                          on_write_candidates(write_id, candidates);
+              // The reply carries a shared catalog snapshot + holder slots
+              // instead of a materialized O(n) candidate vector; moving it
+              // through the delivery closure costs O(holders).
+              ReplicaListReplyMsg reply = shard.handle_replica_list_query(file);
+              const Bytes size = reply.estimated_size();
+              net_.send(mm_node, id_, net::MessageKind::kReplicaListReply, size,
+                        [this, write_id, reply = std::move(reply)] {
+                          on_write_candidates(write_id, reply);
                         });
             });
 }
 
-void DfsClient::on_write_candidates(std::uint64_t write_id,
-                                    const std::vector<net::NodeId>& candidates) {
+void DfsClient::on_write_candidates(std::uint64_t write_id, const ReplicaListReplyMsg& reply) {
   const auto it = writes_.find(write_id);
   if (it == writes_.end()) return;
   sim_.cancel(it->second.timeout_event);
-  if (candidates.empty()) {
+  const std::size_t candidates = reply.non_holder_count();
+  if (candidates == 0) {
     ++counters_.writes_failed;
     WriteContext ctx = std::move(it->second);
     writes_.erase(it);
@@ -126,7 +127,7 @@ void DfsClient::on_write_candidates(std::uint64_t write_id,
   }
 
   WriteContext& ctx = it->second;
-  ctx.expected_bids = candidates.size();
+  ctx.expected_bids = candidates;
   ctx.timeout_event = sim_.schedule_after(params_.bid_timeout, [this, write_id] {
     const auto wit = writes_.find(write_id);
     if (wit == writes_.end() || wit->second.evaluated) return;
@@ -138,7 +139,8 @@ void DfsClient::on_write_candidates(std::uint64_t write_id,
   cfp.open_id = write_id;
   cfp.file = ctx.file;
   cfp.required = ctx.required;
-  for (const net::NodeId target : candidates) {
+  for (std::size_t i = 0; i < candidates; ++i) {
+    const net::NodeId target = reply.non_holder(i);
     ResourceManager* rm = rm_by_node(target);
     assert(rm != nullptr);
     ++counters_.cfps_sent;
@@ -577,10 +579,15 @@ void DfsClient::evaluate_bids(std::uint64_t open_id) {
       static_cast<std::uint64_t>((sim_.now() - ctx.started).as_micros());
   ++counters_.negotiations;
 
-  std::vector<core::BidInfo> infos;
-  infos.reserve(candidates.size());
-  for (const BidMsg& b : candidates) infos.push_back(b.info);
-  const auto pick = policy_.choose(infos, rng_);
+  // O(log n) winner selection through the tournament scratch tree —
+  // bit-identical to the linear scan (core/selection_tree.hpp). The random
+  // policy draws without scoring, so the scores stay empty there.
+  score_scratch_.clear();
+  if (!policy_.weights().is_random()) {
+    score_scratch_.reserve(candidates.size());
+    for (const BidMsg& b : candidates) score_scratch_.push_back(policy_.score(b.info));
+  }
+  const auto pick = policy_.choose_scored(candidates.size(), score_scratch_, rng_, select_scratch_);
   assert(pick.has_value());
   const net::NodeId winner = candidates[*pick].rm;
   ResourceManager* rm = rm_by_node(winner);

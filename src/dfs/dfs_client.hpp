@@ -178,7 +178,7 @@ class DfsClient {
     Callback done;
   };
 
-  void on_write_candidates(std::uint64_t write_id, const std::vector<net::NodeId>& candidates);
+  void on_write_candidates(std::uint64_t write_id, const ReplicaListReplyMsg& reply);
   void on_write_bid(std::uint64_t write_id, const BidMsg& bid);
   void evaluate_write_bids(std::uint64_t write_id);
   void dispatch_write(std::uint64_t write_id, net::NodeId target);
@@ -204,6 +204,11 @@ class DfsClient {
   const FileDirectory& directory_;
   core::SelectionPolicy policy_;
   Rng rng_;
+
+  // Reused per-negotiation winner-selection scratch (no per-open allocation
+  // once the high-water mark is reached).
+  std::vector<double> score_scratch_;
+  core::SelectionTree select_scratch_;
 
   std::unordered_map<std::uint32_t, ResourceManager*> rms_;
   std::vector<net::NodeId> all_rms_;  // CNP broadcast targets

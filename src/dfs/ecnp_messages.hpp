@@ -6,11 +6,14 @@
 // ECNP-vs-CNP ablation).
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/bid.hpp"
 #include "dfs/file_types.hpp"
+#include "dfs/rm_catalog.hpp"
 #include "net/node_id.hpp"
 #include "util/units.hpp"
 
@@ -101,18 +104,39 @@ struct ReplicaListQueryMsg {
   [[nodiscard]] static Bytes estimated_size() { return message_size(1); }
 };
 
-struct ReplicaHolderInfo {
-  net::NodeId rm;
-  Bandwidth initial_bandwidth;  // for LBF / weighted destination selection
-};
-
-/// MM -> source RM.
+/// MM -> source RM. The non-holder list is carried as a shared catalog
+/// snapshot plus the file's holder slots, so answering costs O(holders)
+/// instead of materializing an O(n) vector per query. The *protocol*
+/// content — and therefore estimated_size() — is unchanged: the simulated
+/// wire still carries one (rm, initial_bandwidth) pair per non-holder.
 struct ReplicaListReplyMsg {
   FileId file = 0;
-  std::uint32_t current_replicas = 0;  // N_CUR
-  std::vector<ReplicaHolderInfo> non_holders;
+  std::uint32_t current_replicas = 0;  // N_CUR (all holders, registered or not)
+  std::shared_ptr<const RmCatalogSnapshot> catalog;
+  std::vector<std::uint32_t> holder_slots;  // sorted; registered holders only
+
+  [[nodiscard]] std::size_t non_holder_count() const {
+    return catalog->size() - holder_slots.size();
+  }
+
+  /// The i-th non-holder's catalog slot, ascending slot (= registration)
+  /// order — exactly the order the materialized vector had. O(holders).
+  [[nodiscard]] std::uint32_t non_holder_slot(std::size_t i) const {
+    assert(i < non_holder_count());
+    auto slot = static_cast<std::uint32_t>(i);
+    for (const std::uint32_t h : holder_slots) {
+      if (h <= slot) ++slot;
+      else break;
+    }
+    return slot;
+  }
+
+  [[nodiscard]] net::NodeId non_holder(std::size_t i) const {
+    return catalog->rm[non_holder_slot(i)];
+  }
+
   [[nodiscard]] Bytes estimated_size() const {
-    return message_size(2 + 2 * non_holders.size());
+    return message_size(2 + 2 * non_holder_count());
   }
 };
 

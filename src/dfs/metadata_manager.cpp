@@ -39,6 +39,27 @@ void MetadataManager::handle_resource_update(const RegisterMsg& msg) {
     rms_.push_back(RmInfo{msg.rm, msg.dispatched_bandwidth, msg.disk_capacity});
   }
   for (const FileId f : msg.stored_files) replicas_[f].insert(msg.rm);
+  // The published catalog no longer matches rms_; the next replica-list
+  // query rebuilds it (copy-on-write — replies in flight keep theirs).
+  catalog_.reset();
+}
+
+const std::shared_ptr<const RmCatalogSnapshot>& MetadataManager::catalog() {
+  if (catalog_ == nullptr) {
+    auto fresh = std::make_shared<RmCatalogSnapshot>();
+    fresh->rm.reserve(rms_.size());
+    fresh->bandwidth.reserve(rms_.size());
+    for (const RmInfo& rm : rms_) {
+      fresh->rm.push_back(rm.id);
+      fresh->bandwidth.push_back(rm.dispatched_bandwidth);
+    }
+    fresh->bandwidth_tree.reset(rms_.size());
+    for (std::uint32_t slot = 0; slot < rms_.size(); ++slot) {
+      fresh->bandwidth_tree.set_key(slot, rms_[slot].dispatched_bandwidth.bps());
+    }
+    catalog_ = std::move(fresh);
+  }
+  return catalog_;
 }
 
 ResourceReplyMsg MetadataManager::handle_resource_query(FileId file) {
@@ -53,12 +74,18 @@ ReplicaListReplyMsg MetadataManager::handle_replica_list_query(FileId file) {
   ++counters_.replica_list_queries;
   ReplicaListReplyMsg reply;
   reply.file = file;
+  reply.catalog = catalog();
   const auto it = replicas_.find(file);
-  const auto* holders = it == replicas_.end() ? nullptr : &it->second;
-  reply.current_replicas = holders == nullptr ? 0 : static_cast<std::uint32_t>(holders->size());
-  for (const auto& rm : rms_) {
-    if (holders != nullptr && holders->contains(rm.id)) continue;
-    reply.non_holders.push_back(ReplicaHolderInfo{rm.id, rm.dispatched_bandwidth});
+  if (it != replicas_.end()) {
+    reply.current_replicas = static_cast<std::uint32_t>(it->second.size());
+    reply.holder_slots.reserve(it->second.size());
+    for (const net::NodeId rm : it->second) {
+      const auto slot = rm_index_.find(rm);
+      if (slot == rm_index_.end()) continue;  // holder not (currently) registered
+      reply.holder_slots.push_back(static_cast<std::uint32_t>(slot->second));
+    }
+    // Holder ids ascend, but slots are registration-ordered — re-sort.
+    std::sort(reply.holder_slots.begin(), reply.holder_slots.end());
   }
   return reply;
 }
@@ -124,11 +151,9 @@ void MetadataManager::bootstrap_replica(net::NodeId rm, FileId file) {
 std::vector<net::NodeId> MetadataManager::holders_of(FileId file) const {
   const auto it = replicas_.find(file);
   if (it == replicas_.end()) return {};
-  std::vector<net::NodeId> out{it->second.begin(), it->second.end()};
-  // Deterministic order: unordered_set iteration order is not stable across
-  // runs/platforms, and this list seeds the CFP fan-out order.
-  std::sort(out.begin(), out.end());
-  return out;
+  // HolderSet keeps ids sorted, which is exactly the deterministic order the
+  // CFP fan-out needs — a straight copy replaces the old copy-and-sort.
+  return std::vector<net::NodeId>{it->second.begin(), it->second.end()};
 }
 
 std::size_t MetadataManager::replica_count(FileId file) const {

@@ -10,13 +10,15 @@
 // both legs get latency and traffic accounting (see Cluster wiring).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "dfs/ecnp_messages.hpp"
 #include "dfs/file_types.hpp"
+#include "dfs/rm_catalog.hpp"
 #include "net/node_id.hpp"
 #include "util/units.hpp"
 
@@ -109,10 +111,44 @@ class MetadataManager {
     Bytes disk_capacity;
   };
 
+  /// A file's replica holders as a sorted vector: replica counts are bounded
+  /// by N_MAXR (single digits), where a compact sorted vector beats a hash
+  /// set on every operation, iterates deterministically, and hands
+  /// holders_of its output pre-sorted.
+  class HolderSet {
+   public:
+    [[nodiscard]] bool contains(net::NodeId rm) const {
+      return std::binary_search(ids_.begin(), ids_.end(), rm);
+    }
+    void insert(net::NodeId rm) {
+      const auto it = std::lower_bound(ids_.begin(), ids_.end(), rm);
+      if (it == ids_.end() || *it != rm) ids_.insert(it, rm);
+    }
+    /// Mirrors std::unordered_set::erase — the number of elements removed.
+    std::size_t erase(net::NodeId rm) {
+      const auto it = std::lower_bound(ids_.begin(), ids_.end(), rm);
+      if (it == ids_.end() || *it != rm) return 0;
+      ids_.erase(it);
+      return 1;
+    }
+    [[nodiscard]] std::size_t size() const { return ids_.size(); }
+    [[nodiscard]] bool empty() const { return ids_.empty(); }
+    [[nodiscard]] auto begin() const { return ids_.begin(); }
+    [[nodiscard]] auto end() const { return ids_.end(); }
+
+   private:
+    std::vector<net::NodeId> ids_;  // ascending
+  };
+
+  /// The current catalog snapshot, rebuilt lazily after registrations
+  /// (copy-on-write: replies in flight keep the snapshot they captured).
+  [[nodiscard]] const std::shared_ptr<const RmCatalogSnapshot>& catalog();
+
   net::NodeId id_;
   std::vector<RmInfo> rms_;
   std::unordered_map<net::NodeId, std::size_t> rm_index_;
-  std::unordered_map<FileId, std::unordered_set<net::NodeId>> replicas_;
+  std::unordered_map<FileId, HolderSet> replicas_;
+  std::shared_ptr<const RmCatalogSnapshot> catalog_;  // null = dirty
   Counters counters_;
   obs::Recorder* obs_ = nullptr;
   std::uint32_t obs_track_ = 0;

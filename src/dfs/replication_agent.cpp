@@ -82,10 +82,14 @@ void ReplicationAgent::start_round(ResourceManager& source) {
     MetadataManager& shard = mm_.shard_for(file);
     net_.send(source.node_id(), mm_node, net::MessageKind::kReplicaListQuery,
               ReplicaListQueryMsg::estimated_size(), [this, &shard, mm_node, round, file] {
-                const ReplicaListReplyMsg reply = shard.handle_replica_list_query(file);
+                // Move the reply through the delivery closure — it carries a
+                // shared catalog snapshot + the file's few holder slots, so
+                // the capture costs O(holders), not O(cluster).
+                ReplicaListReplyMsg reply = shard.handle_replica_list_query(file);
+                const Bytes size = reply.estimated_size();
                 net_.send(mm_node, round->source->node_id(),
-                          net::MessageKind::kReplicaListReply, reply.estimated_size(),
-                          [this, round, file, reply] {
+                          net::MessageKind::kReplicaListReply, size,
+                          [this, round, file, reply = std::move(reply)] {
                             plan_file(round, file, reply);
                             --round->pending_queries;
                             finish_round_part(round);
@@ -133,22 +137,21 @@ void ReplicationAgent::plan_file(const std::shared_ptr<Round>& round, FileId fil
   const core::RepCountPlan plan =
       core::plan_rep_count(cfg_.n_rep, reply.current_replicas, cfg_.n_maxr);
 
-  std::vector<core::DestinationCandidate> candidates;
-  candidates.reserve(reply.non_holders.size());
-  for (std::size_t i = 0; i < reply.non_holders.size(); ++i) {
-    candidates.push_back(core::DestinationCandidate{i, reply.non_holders[i].initial_bandwidth});
-  }
-  const std::vector<std::size_t> chosen =
-      core::select_destinations(cfg_.destination, candidates, plan.n_rep, rng_);
-  if (chosen.empty()) return;
+  // Destination choice straight off the catalog snapshot: the pool is the
+  // complement of the holder slots, LBF resolves through the bandwidth
+  // tournament tree in O(log n) — no materialized candidate vector.
+  const core::DestinationPool pool{&reply.catalog->bandwidth_tree, reply.holder_slots};
+  core::select_destination_slots(cfg_.destination, pool, plan.n_rep, rng_, dest_scratch_,
+                                 chosen_slots_);
+  if (chosen_slots_.empty()) return;
 
   const FileMeta& meta = directory_.get(file);
   auto file_plan = std::make_shared<FilePlan>();
   file_plan->file = file;
   file_plan->delete_self = plan.delete_self;
 
-  for (const std::size_t pick : chosen) {
-    const net::NodeId dest_node = reply.non_holders[pick].rm;
+  for (const std::uint32_t pick : chosen_slots_) {
+    const net::NodeId dest_node = reply.catalog->rm[pick];
     ResourceManager* dest = rm_by_node(dest_node);
     if (dest == nullptr) continue;
 

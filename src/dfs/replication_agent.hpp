@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/destination_selector.hpp"
 #include "core/replication_config.hpp"
 #include "dfs/mm_directory.hpp"
 #include "dfs/resource_manager.hpp"
@@ -99,6 +100,10 @@ class ReplicationAgent {
   const FileDirectory& directory_;
   core::ReplicationConfig cfg_;
   Rng rng_;
+  // Destination-selection scratch, reused across rounds (no per-file
+  // allocation once warm).
+  core::DestinationScratch dest_scratch_;
+  std::vector<std::uint32_t> chosen_slots_;
   std::unordered_map<std::uint32_t, ResourceManager*> rms_;
   std::uint64_t next_transfer_id_ = 1;
   Counters counters_;

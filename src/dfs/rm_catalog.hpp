@@ -1,0 +1,40 @@
+// Immutable snapshot of the matchmaker's registered-RM catalog.
+//
+// The MM's replica-list answer used to materialize an O(n) non-holder vector
+// per query — the dominant per-decision cost once clusters grow past a few
+// hundred RMs. Instead the MM keeps one copy-on-write snapshot of the
+// catalog (rebuilt lazily after a registration burst) and replies with a
+// shared reference plus the file's few holder slots; consumers enumerate the
+// non-holders through rank-select over the complement, and pick replication
+// destinations through the embedded bandwidth tournament tree.
+//
+// Snapshots are immutable once published: a registration dirties the MM's
+// current pointer and the next query builds a fresh snapshot, so a reply in
+// flight keeps exactly the catalog state it was answered with — the same
+// freeze-at-reply semantics the value vector had.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/selection_tree.hpp"
+#include "net/node_id.hpp"
+#include "util/units.hpp"
+
+namespace sqos::dfs {
+
+struct RmCatalogSnapshot {
+  /// Slot -> RM, in registration order (the order the old per-query
+  /// non-holder vector enumerated). Slots are dense and stable: an RM keeps
+  /// its slot across re-registrations.
+  std::vector<net::NodeId> rm;
+  std::vector<Bandwidth> bandwidth;  // slot -> dispatched bandwidth
+
+  /// All slots active, keyed by bandwidth.bps() — backs LBF destination
+  /// selection in O(log n) instead of a max scan.
+  core::SelectionTree bandwidth_tree;
+
+  [[nodiscard]] std::size_t size() const { return rm.size(); }
+};
+
+}  // namespace sqos::dfs

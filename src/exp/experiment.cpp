@@ -80,8 +80,10 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   cluster.start();
 
   // Access pattern: generated per seed, or replayed from a saved trace.
+  const workload::PatternParams pattern_params =
+      params.pattern.value_or(paper_pattern_params(params.users));
   std::vector<workload::AccessEvent> pattern;
-  SimTime pattern_duration = paper_pattern_params(params.users).duration;
+  SimTime pattern_duration = pattern_params.duration;
   if (params.trace_path.has_value()) {
     auto loaded = workload::load_trace(*params.trace_path);
     if (!loaded.is_ok()) die(loaded.status(), "trace load");
@@ -89,8 +91,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     if (!pattern.empty()) pattern_duration = pattern.back().time;
   } else {
     Rng pattern_rng = root.fork("pattern");
-    pattern = workload::generate_pattern(cluster.directory(),
-                                         paper_pattern_params(params.users), pattern_rng);
+    pattern = workload::generate_pattern(cluster.directory(), pattern_params, pattern_rng);
   }
 
   workload::RequestScheduler scheduler{cluster, std::move(pattern)};
@@ -116,6 +117,7 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   ExperimentResult result;
   const SimTime end = cluster.simulator().now();
   result.simulated_seconds = end.as_seconds();
+  result.executed_events = cluster.simulator().executed_events();
   result.per_rm = stats::collect_rm_summaries(cluster, end);
   result.overallocate_ratio = stats::aggregate_overallocate_ratio(result.per_rm);
 
@@ -232,6 +234,7 @@ ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds, std::s
     avg.mm_messages += r.mm_messages;
     avg.mean_negotiation_ms += r.mean_negotiation_ms;
     avg.simulated_seconds += r.simulated_seconds;
+    avg.executed_events += r.executed_events;
   }
   const double n = static_cast<double>(seeds);
   avg.fail_rate /= n;
@@ -259,6 +262,7 @@ ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds, std::s
   avg.control_messages = avg_u64(avg.control_messages);
   avg.control_bytes = avg_u64(avg.control_bytes);
   avg.mm_messages = avg_u64(avg.mm_messages);
+  avg.executed_events = avg_u64(avg.executed_events);
   avg.mean_negotiation_ms /= n;
   avg.simulated_seconds /= n;
   return avg;

@@ -36,6 +36,11 @@ struct ExperimentParams {
   workload::PlacementParams placement = paper_placement_params();
   std::optional<dfs::ClusterConfig> cluster;  // default: paper_cluster_config()
 
+  /// Access-pattern override for scale ablations (shorter windows / larger
+  /// populations than the paper's 2 h @ 300 s). Unset = paper_pattern_params
+  /// for `users`; when set, `users` is taken from the override instead.
+  std::optional<workload::PatternParams> pattern;
+
   /// Replay a saved trace (workload::save_trace format) instead of
   /// generating arrivals — the paper's fixed-pattern comparison methodology.
   /// `users` is ignored when set.
@@ -101,6 +106,11 @@ struct [[nodiscard]] ExperimentResult {
   std::vector<obs::MetricSample> obs_metrics;
 
   double simulated_seconds = 0.0;
+
+  /// Total simulator events executed over the run — the deterministic work
+  /// measure behind the events/sec scale curves (exact for a fixed seed;
+  /// run_averaged folds it like the other counters).
+  std::uint64_t executed_events = 0;
 };
 
 /// Run one experiment. Aborts (CHECK-style) on configuration errors — an

@@ -1,5 +1,7 @@
 #include "exp/paper_setup.hpp"
 
+#include <cassert>
+
 namespace sqos::exp {
 
 std::vector<std::size_t> paper_large_rm_indices() { return {0, 8}; }
@@ -56,6 +58,54 @@ dfs::ClusterConfig paper_cluster_config() {
   }
 
   cfg.client_count = 8;
+  return cfg;
+}
+
+dfs::ClusterConfig scaled_cluster_config(std::size_t rm_count) {
+  assert(rm_count >= 1);
+  dfs::ClusterConfig cfg;
+
+  // Per 8-RM block, position 1 is the paper's extra-large RM (own machine),
+  // positions 2 and 3 its 19 Mbit/s neighbours, the rest 18 Mbit/s. Small
+  // RMs pack 5 per machine (worst case 5 x 19 = 95 < 128 Mbit/s sustained),
+  // so every machine stays within its dispatched-bandwidth budget and the
+  // large:small capacity imbalance matches the paper at every scale.
+  const auto bw_of = [](std::size_t rm_number) {
+    const std::size_t pos = (rm_number - 1) % 8 + 1;
+    if (pos == 1) return Bandwidth::mbps(128.0);
+    if (pos == 2 || pos == 3) return Bandwidth::mbps(19.0);
+    return Bandwidth::mbps(18.0);
+  };
+
+  const auto add_machine = [&cfg] {
+    cfg.machines.push_back(dfs::MachineSpec{"pm" + std::to_string(cfg.machines.size() + 1),
+                                            Bandwidth::mbytes_per_sec(16.0)});
+    return cfg.machines.size() - 1;
+  };
+  std::size_t small_machine = 0;
+  std::size_t smalls_on_machine = 5;  // force a fresh machine for the first small RM
+  for (std::size_t n = 1; n <= rm_count; ++n) {
+    const bool large = (n - 1) % 8 == 0;
+    std::size_t machine = 0;
+    if (large) {
+      machine = add_machine();
+    } else {
+      if (smalls_on_machine == 5) {
+        small_machine = add_machine();
+        smalls_on_machine = 0;
+      }
+      machine = small_machine;
+      ++smalls_on_machine;
+    }
+    dfs::RmSpec rm;
+    rm.name = "RM" + std::to_string(n);
+    rm.bandwidth = bw_of(n);
+    rm.disk_capacity = Bytes::gib(32.0);
+    rm.machine = machine;
+    cfg.rms.push_back(std::move(rm));
+  }
+
+  cfg.client_count = rm_count < 2 ? 1 : rm_count / 2;
   return cfg;
 }
 

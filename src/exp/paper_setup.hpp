@@ -27,6 +27,14 @@ namespace sqos::exp {
 /// left at their defaults for the caller to fill in.
 [[nodiscard]] dfs::ClusterConfig paper_cluster_config();
 
+/// The paper topology generalized to `rm_count` RMs for the scale ablation:
+/// every 8-RM block repeats the paper's imbalance pattern (one 128 Mbit/s
+/// extra-large RM on its own machine, two 19 Mbit/s and five 18 Mbit/s small
+/// RMs packed 5-per-machine within the 128 Mbit/s sustained budget). Client
+/// nodes scale as rm_count / 2 like the paper's 16-RM / 8-client ratio.
+/// `rm_count` must be >= 1; mode/policy/replication/seed stay at defaults.
+[[nodiscard]] dfs::ClusterConfig scaled_cluster_config(std::size_t rm_count);
+
 /// Catalog parameters matching §VI (1,000 videos).
 [[nodiscard]] workload::CatalogParams paper_catalog_params();
 

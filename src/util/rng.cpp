@@ -108,13 +108,18 @@ std::size_t Rng::weighted_index(const std::vector<double>& weights) {
 }
 
 std::vector<std::size_t> Rng::permutation(std::size_t n) {
-  std::vector<std::size_t> idx(n);
-  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  std::vector<std::size_t> idx;
+  permutation_into(n, idx);
+  return idx;
+}
+
+void Rng::permutation_into(std::size_t n, std::vector<std::size_t>& out) {
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = i;
   for (std::size_t i = n; i > 1; --i) {
     const std::size_t j = next_below(i);
-    std::swap(idx[i - 1], idx[j]);
+    std::swap(out[i - 1], out[j]);
   }
-  return idx;
 }
 
 }  // namespace sqos

@@ -55,6 +55,10 @@ class Rng {
   /// Fisher-Yates shuffle of an index vector [0, n).
   [[nodiscard]] std::vector<std::size_t> permutation(std::size_t n);
 
+  /// permutation() into a caller-owned buffer: identical draws, no
+  /// allocation once the buffer's capacity has grown to n (hot-path form).
+  void permutation_into(std::size_t n, std::vector<std::size_t>& out);
+
   /// Seed this generator was created with (for diagnostics).
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
 

@@ -96,6 +96,27 @@ TEST(OpFuzzer, InjectedOverallocationBugIsCaughtAndMinimized) {
   EXPECT_EQ(replay.violations[0].invariant, caught.violations[0].invariant);
 }
 
+TEST(OpFuzzer, LargeClusterRunHoldsEveryInvariant) {
+  // 4096-RM topology: the machine count auto-scales past the configured two
+  // (five 16 Mbit/s RMs per 80 Mbit/s machine), the MM answers CFP rounds
+  // from the bandwidth-tree catalog at full width, and the invariant audit
+  // (sampled — a full sweep per event would dominate the run) still holds.
+  FuzzOptions o;
+  o.seed = 12;
+  o.op_count = 200;
+  o.audit_every = 64;
+  o.rm_count = 4096;
+  o.client_count = 8;
+  o.mm_shards = 4;
+  o.file_count = 64;
+  o.with_faults = true;
+  OpFuzzer fuzzer{o};
+  const FuzzResult result = fuzzer.run();
+  EXPECT_TRUE(result.ok()) << result.report();
+  EXPECT_GT(result.executed_events, 0u);
+  EXPECT_NE(result.repro_line().find("--rms=4096"), std::string::npos);
+}
+
 TEST(OpFuzzer, OpToStringNamesEveryKind) {
   FuzzOp op;
   op.kind = FuzzOp::Kind::kStream;

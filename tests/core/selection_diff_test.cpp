@@ -1,0 +1,253 @@
+// Differential test harness: tree-backed selection vs. the linear scans, on
+// >= 10k randomized cluster states (random capacities, allocations, crashes,
+// replica-holder exclusions).
+//
+// Every case is a pure function of one 64-bit case seed printed on failure,
+// so a red case reproduces (and delta-minimizes) by re-running with that
+// seed alone — tweak kCases/kSlotCap below, the state dump in the failure
+// message carries everything else.
+//
+// Three harness parts:
+//   A. SelectionTree vs. linear scan: argmax, tie count, full tie-order
+//      enumeration, and the holder-excluded variants.
+//   B. SelectionPolicy::choose (linear reference) vs. choose_scored (tree):
+//      same winner AND the same RNG stream consumption.
+//   C. select_destinations (materialized linear) vs. select_destination_slots
+//      (catalog complement + tree): same destinations in the same order, and
+//      the same RNG stream consumption.
+// RNG-draw parity is what extends per-decision equality to whole-run
+// bit-identity: the client/agent streams are shared across decisions, so one
+// extra draw anywhere would shift every later decision.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bid.hpp"
+#include "core/destination_selector.hpp"
+#include "core/selection_policy.hpp"
+#include "core/selection_tree.hpp"
+#include "util/rng.hpp"
+
+namespace sqos::core {
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 0x5e1ec710713eULL;
+
+/// One randomized cluster state: per-slot keys (capacity minus allocations),
+/// crashed slots, and a sorted holder-exclusion set.
+struct ClusterState {
+  std::vector<double> key;
+  std::vector<bool> active;
+  std::vector<std::uint32_t> excluded;
+
+  [[nodiscard]] std::string dump() const {
+    std::ostringstream os;
+    os << "slots=" << key.size() << " [";
+    for (std::size_t s = 0; s < key.size(); ++s) {
+      os << (s == 0 ? "" : " ") << (active[s] ? "" : "!") << key[s];
+    }
+    os << "] excluded=[";
+    for (std::size_t i = 0; i < excluded.size(); ++i) {
+      os << (i == 0 ? "" : " ") << excluded[i];
+    }
+    os << "]";
+    return os.str();
+  }
+};
+
+ClusterState random_state(Rng& rng, std::size_t slot_cap) {
+  ClusterState st;
+  const std::size_t n = 1 + rng.next_below(slot_cap);
+  st.key.resize(n);
+  st.active.resize(n);
+  // Tie-heavy states half the time: discrete key levels make maximum ties
+  // (the interesting equivalence case) common instead of measure-zero.
+  const bool tie_heavy = rng.next_below(2) == 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    st.active[s] = rng.next_below(8) != 0;  // ~12% crashed
+    st.key[s] = tie_heavy ? 16.0 * static_cast<double>(rng.next_below(4))
+                          : rng.uniform(0.0, 256.0);
+  }
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (rng.next_below(8) == 0) st.excluded.push_back(s);  // replica holders
+  }
+  return st;
+}
+
+/// Linear reference: first maximum wins, ties ascend — the scan semantics.
+SelectionTree::Best scan_best(const ClusterState& st, bool use_excluded,
+                              std::vector<std::uint32_t>* ties_out = nullptr) {
+  SelectionTree::Best out;
+  if (ties_out != nullptr) ties_out->clear();
+  for (std::uint32_t s = 0; s < st.key.size(); ++s) {
+    if (!st.active[s]) continue;
+    if (use_excluded &&
+        std::binary_search(st.excluded.begin(), st.excluded.end(), s)) {
+      continue;
+    }
+    if (out.ties == 0 || st.key[s] > out.key) {
+      out = SelectionTree::Best{s, st.key[s], 1};
+      if (ties_out != nullptr) ties_out->assign(1, s);
+    } else if (st.key[s] == out.key) {
+      ++out.ties;
+      if (ties_out != nullptr) ties_out->push_back(s);
+    }
+  }
+  return out;
+}
+
+TEST(SelectionDiff, TreeMatchesLinearScan) {
+  constexpr int kCases = 6000;
+  for (int c = 0; c < kCases; ++c) {
+    const std::uint64_t case_seed = kBaseSeed + static_cast<std::uint64_t>(c);
+    Rng rng{case_seed};
+    // Mostly small states (exhaustive-ish coverage of tie patterns), with a
+    // large-cluster case every 500th iteration.
+    const std::size_t cap = (c % 500 == 499) ? 2048 : 48;
+    const ClusterState st = random_state(rng, cap);
+    const std::string ctx = "case " + std::to_string(c) + " seed " +
+                            std::to_string(case_seed) + " " + st.dump();
+
+    SelectionTree tree{st.key.size()};
+    for (std::uint32_t s = 0; s < st.key.size(); ++s) {
+      if (st.active[s]) tree.set_key(s, st.key[s]);
+    }
+
+    std::vector<std::uint32_t> ties;
+    const SelectionTree::Best want = scan_best(st, false, &ties);
+    const SelectionTree::Best got = tree.best();
+    ASSERT_EQ(got.ties, want.ties) << ctx;
+    if (want.ties != 0) {
+      ASSERT_EQ(got.slot, want.slot) << ctx;
+      ASSERT_EQ(got.key, want.key) << ctx;
+      for (std::uint32_t r = 0; r < want.ties; ++r) {
+        ASSERT_EQ(tree.tie_at(r), ties[r]) << ctx << " rank " << r;
+      }
+    }
+
+    const SelectionTree::Best want_ex = scan_best(st, true, &ties);
+    const SelectionTree::Best got_ex = tree.best_excluding(st.excluded);
+    ASSERT_EQ(got_ex.ties, want_ex.ties) << ctx;
+    if (want_ex.ties != 0) {
+      ASSERT_EQ(got_ex.slot, want_ex.slot) << ctx;
+      ASSERT_EQ(got_ex.key, want_ex.key) << ctx;
+      for (std::uint32_t r = 0; r < want_ex.ties; ++r) {
+        ASSERT_EQ(tree.tie_at_excluding(r, st.excluded), ties[r]) << ctx << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(SelectionDiff, PolicyChooseScoredMatchesChoose) {
+  constexpr int kCases = 3000;
+  const std::vector<PolicyWeights> policies = PolicyWeights::paper_set();
+  SelectionTree scratch;
+  std::vector<double> scores;
+  for (int c = 0; c < kCases; ++c) {
+    constexpr std::uint64_t kPart = 0xb1d5;
+    const std::uint64_t case_seed = kBaseSeed ^ (kPart + static_cast<std::uint64_t>(c));
+    Rng rng{case_seed};
+    const PolicyWeights weights = policies[rng.next_below(policies.size())];
+    const SelectionPolicy policy{weights};
+
+    std::vector<BidInfo> bids(rng.next_below(40));
+    const bool tie_heavy = rng.next_below(2) == 0;
+    for (BidInfo& b : bids) {
+      b.b_rem_bps = tie_heavy ? 1e6 * static_cast<double>(rng.next_below(3))
+                              : rng.uniform(0.0, 2e7);
+      b.trend_bps = tie_heavy ? 0.0 : rng.uniform(-1e6, 1e6);
+      b.b_req_bps = 225000.0;
+      b.occupation_bias = rng.uniform(0.0, 4.0);
+    }
+    const std::string ctx = "case " + std::to_string(c) + " seed " +
+                            std::to_string(case_seed) + " policy " + weights.to_string() +
+                            " bids " + std::to_string(bids.size());
+
+    Rng linear_rng = rng;  // identical stream positions for both paths
+    Rng tree_rng = rng;
+    const auto want = policy.choose(bids, linear_rng);
+
+    scores.clear();
+    if (!weights.is_random()) {
+      for (const BidInfo& b : bids) scores.push_back(policy.score(b));
+    }
+    const auto got = policy.choose_scored(bids.size(), scores, tree_rng, scratch);
+
+    ASSERT_EQ(got.has_value(), want.has_value()) << ctx;
+    if (want.has_value()) {
+      ASSERT_EQ(*got, *want) << ctx;
+    }
+    // Draw parity: both streams must sit at the same position afterwards.
+    ASSERT_EQ(linear_rng.next_u64(), tree_rng.next_u64()) << ctx << " (RNG divergence)";
+  }
+}
+
+TEST(SelectionDiff, DestinationSlotsMatchLinearSelector) {
+  constexpr int kCases = 3000;
+  constexpr DestinationStrategy kStrategies[] = {
+      DestinationStrategy::kRandom, DestinationStrategy::kLargestBandwidthFirst,
+      DestinationStrategy::kWeighted};
+  DestinationScratch scratch;
+  std::vector<std::uint32_t> got;
+  for (int c = 0; c < kCases; ++c) {
+    constexpr std::uint64_t kPart = 0xde57;
+    const std::uint64_t case_seed = kBaseSeed ^ (kPart + static_cast<std::uint64_t>(c));
+    Rng rng{case_seed};
+    const DestinationStrategy strategy = kStrategies[rng.next_below(3)];
+
+    // A registered catalog: every slot active, paper-like discrete bandwidth
+    // levels so LBF ties are common; holders form the exclusion.
+    const std::size_t n = 1 + rng.next_below((c % 300 == 299) ? 1024 : 32);
+    ClusterState st;
+    st.key.resize(n);
+    st.active.assign(n, true);
+    const bool tie_heavy = rng.next_below(2) == 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const std::uint64_t level = rng.next_below(4);
+      st.key[s] = tie_heavy ? (level == 3 ? 128.0e6 : 18.0e6 + 1.0e6 * static_cast<double>(level))
+                            : rng.uniform(0.0, 2e8);
+    }
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (rng.next_below(6) == 0) st.excluded.push_back(s);
+    }
+    const std::size_t count = 1 + rng.next_below(5);
+    const std::string ctx = "case " + std::to_string(c) + " seed " +
+                            std::to_string(case_seed) + " strategy " +
+                            std::to_string(static_cast<int>(strategy)) + " count " +
+                            std::to_string(count) + " " + st.dump();
+
+    // Linear reference: materialize the complement exactly like the old MM
+    // reply did, candidate .rm = position; map positions back to slots.
+    std::vector<DestinationCandidate> candidates;
+    std::vector<std::uint32_t> position_to_slot;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (std::binary_search(st.excluded.begin(), st.excluded.end(), s)) continue;
+      candidates.push_back(
+          DestinationCandidate{candidates.size(), Bandwidth::bytes_per_sec(st.key[s])});
+      position_to_slot.push_back(s);
+    }
+
+    Rng linear_rng = rng;
+    Rng tree_rng = rng;
+    const std::vector<std::size_t> picks =
+        select_destinations(strategy, candidates, count, linear_rng);
+    std::vector<std::uint32_t> want;
+    want.reserve(picks.size());
+    for (const std::size_t p : picks) want.push_back(position_to_slot[p]);
+
+    SelectionTree tree;
+    tree.build(st.key);
+    const DestinationPool pool{&tree, st.excluded};
+    select_destination_slots(strategy, pool, count, tree_rng, scratch, got);
+
+    ASSERT_EQ(got, want) << ctx;
+    ASSERT_EQ(linear_rng.next_u64(), tree_rng.next_u64()) << ctx << " (RNG divergence)";
+  }
+}
+
+}  // namespace
+}  // namespace sqos::core

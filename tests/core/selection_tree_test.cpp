@@ -1,0 +1,221 @@
+// SelectionTree incremental-update unit tests: allocate/release re-keys,
+// crash/recover de/reactivation (including mid-query), and
+// rebuild-from-scratch equivalence after every step of randomized mutation
+// sequences. The cross-component differential harness lives in
+// selection_diff_test.cpp.
+#include "core/selection_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace sqos::core {
+namespace {
+
+/// Linear-scan reference over the same slot state: the first maximum wins,
+/// ties collect in ascending slot order — the semantics the tree must
+/// reproduce exactly.
+struct ScanRef {
+  std::vector<double> key;
+  std::vector<bool> active;
+
+  explicit ScanRef(std::size_t n) : key(n, 0.0), active(n, false) {}
+
+  [[nodiscard]] SelectionTree::Best best(const std::vector<std::uint32_t>& excluded = {}) const {
+    SelectionTree::Best out;
+    double max = -std::numeric_limits<double>::infinity();
+    for (std::uint32_t s = 0; s < key.size(); ++s) {
+      if (!active[s]) continue;
+      if (std::find(excluded.begin(), excluded.end(), s) != excluded.end()) continue;
+      if (out.ties == 0 || key[s] > max) {
+        max = key[s];
+        out = SelectionTree::Best{s, key[s], 1};
+      } else if (key[s] == max) {
+        ++out.ties;
+      }
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::vector<std::uint32_t> tied_slots(
+      const std::vector<std::uint32_t>& excluded = {}) const {
+    const SelectionTree::Best b = best(excluded);
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t s = 0; s < key.size(); ++s) {
+      if (!active[s]) continue;
+      if (std::find(excluded.begin(), excluded.end(), s) != excluded.end()) continue;
+      if (b.ties != 0 && key[s] == b.key) out.push_back(s);
+    }
+    return out;
+  }
+};
+
+void expect_matches(const SelectionTree& tree, const ScanRef& ref, const std::string& where) {
+  const SelectionTree::Best got = tree.best();
+  const SelectionTree::Best want = ref.best();
+  ASSERT_EQ(got.ties, want.ties) << where;
+  if (want.ties == 0) return;
+  EXPECT_EQ(got.slot, want.slot) << where;
+  EXPECT_EQ(got.key, want.key) << where;
+  const std::vector<std::uint32_t> ties = ref.tied_slots();
+  for (std::uint32_t r = 0; r < ties.size(); ++r) {
+    EXPECT_EQ(tree.tie_at(r), ties[r]) << where << " tie rank " << r;
+  }
+}
+
+TEST(SelectionTree, EmptyAndSingle) {
+  SelectionTree t{0};
+  EXPECT_EQ(t.best().ties, 0u);
+  t.reset(1);
+  EXPECT_EQ(t.best().ties, 0u);
+  t.set_key(0, 42.0);
+  EXPECT_EQ(t.best().slot, 0u);
+  EXPECT_EQ(t.best().key, 42.0);
+  EXPECT_EQ(t.best().ties, 1u);
+  EXPECT_EQ(t.tie_at(0), 0u);
+}
+
+TEST(SelectionTree, BulkBuildMatchesScan) {
+  const std::vector<double> keys{18.0, 19.0, 128.0, 19.0, 128.0, 18.0};
+  SelectionTree t;
+  t.build(keys);
+  EXPECT_EQ(t.active_count(), 6u);
+  EXPECT_EQ(t.best().slot, 2u);  // first 128 in scan order
+  EXPECT_EQ(t.best().key, 128.0);
+  EXPECT_EQ(t.best().ties, 2u);
+  EXPECT_EQ(t.tie_at(0), 2u);
+  EXPECT_EQ(t.tie_at(1), 4u);
+}
+
+TEST(SelectionTree, AllocateReleaseRekey) {
+  // Remaining bandwidth shrinks on allocate and grows back on release; the
+  // argmax must track every re-key.
+  SelectionTree t{4};
+  for (std::uint32_t s = 0; s < 4; ++s) t.set_key(s, 100.0);
+  EXPECT_EQ(t.best().ties, 4u);
+  t.set_key(1, 60.0);  // allocate 40 on slot 1
+  EXPECT_EQ(t.best().ties, 3u);
+  EXPECT_EQ(t.best().slot, 0u);
+  t.set_key(0, 10.0);  // allocate 90 on slot 0
+  t.set_key(2, 10.0);
+  t.set_key(3, 30.0);
+  EXPECT_EQ(t.best().slot, 1u);
+  EXPECT_EQ(t.best().key, 60.0);
+  EXPECT_EQ(t.best().ties, 1u);
+  t.set_key(0, 100.0);  // release slot 0 fully
+  EXPECT_EQ(t.best().slot, 0u);
+  EXPECT_EQ(t.best().key, 100.0);
+}
+
+TEST(SelectionTree, CrashRecoverMidQuery) {
+  // A crash (deactivate) between two queries of the same decision must drop
+  // the slot from both the argmax and the tie enumeration; recovery restores
+  // it at its re-registered key.
+  SelectionTree t{5};
+  for (std::uint32_t s = 0; s < 5; ++s) t.set_key(s, s == 3 ? 128.0 : 19.0);
+  EXPECT_EQ(t.best().slot, 3u);
+
+  t.deactivate(3);  // crash of the best RM mid-CFP
+  EXPECT_EQ(t.active_count(), 4u);
+  EXPECT_EQ(t.best().key, 19.0);
+  EXPECT_EQ(t.best().slot, 0u);
+  EXPECT_EQ(t.best().ties, 4u);
+  EXPECT_EQ(t.tie_at(2), 2u);
+
+  t.deactivate(3);  // idempotent
+  EXPECT_EQ(t.active_count(), 4u);
+
+  t.set_key(3, 128.0);  // recover
+  EXPECT_EQ(t.best().slot, 3u);
+  EXPECT_EQ(t.best().ties, 1u);
+
+  // Everything crashed: the index must answer "empty", not a stale slot.
+  for (std::uint32_t s = 0; s < 5; ++s) t.deactivate(s);
+  EXPECT_EQ(t.best().ties, 0u);
+  EXPECT_EQ(t.active_count(), 0u);
+}
+
+TEST(SelectionTree, ExclusionMatchesScan) {
+  SelectionTree t{8};
+  ScanRef ref{8};
+  const std::vector<double> keys{19.0, 128.0, 18.0, 128.0, 19.0, 128.0, 18.0, 19.0};
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    t.set_key(s, keys[s]);
+    ref.key[s] = keys[s];
+    ref.active[s] = true;
+  }
+  // Exclude the current best and one mid slot (a file's replica holders).
+  const std::vector<std::uint32_t> excluded{1, 4};
+  const SelectionTree::Best got = t.best_excluding(excluded);
+  const SelectionTree::Best want = ref.best(excluded);
+  EXPECT_EQ(got.slot, want.slot);
+  EXPECT_EQ(got.key, want.key);
+  EXPECT_EQ(got.ties, want.ties);
+  const std::vector<std::uint32_t> ties = ref.tied_slots(excluded);
+  ASSERT_EQ(got.ties, ties.size());
+  for (std::uint32_t r = 0; r < ties.size(); ++r) {
+    EXPECT_EQ(t.tie_at_excluding(r, excluded), ties[r]) << "rank " << r;
+  }
+  // Excluding every active slot leaves an empty answer.
+  const std::vector<std::uint32_t> all{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(t.best_excluding(all).ties, 0u);
+}
+
+TEST(SelectionTree, RebuildEquivalenceAfterEveryMutation) {
+  // Random mutation sequences (allocate re-key / release re-key / crash /
+  // recover); after *every* step the incrementally maintained tree must
+  // answer exactly like a tree rebuilt from scratch and like the linear
+  // scan.
+  Rng rng{20260809};
+  for (int round = 0; round < 40; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 33));
+    SelectionTree incremental{n};
+    ScanRef ref{n};
+    for (int step = 0; step < 60; ++step) {
+      const auto slot = static_cast<std::uint32_t>(rng.next_below(n));
+      const std::uint64_t op = rng.next_below(4);
+      if (op == 0 && ref.active[slot]) {
+        // crash
+        incremental.deactivate(slot);
+        ref.active[slot] = false;
+      } else {
+        // allocate/release/recover: a re-key from a small value set so key
+        // collisions (ties) are common.
+        const double key = 16.0 * static_cast<double>(rng.next_below(5));
+        incremental.set_key(slot, key);
+        ref.key[slot] = key;
+        ref.active[slot] = true;
+      }
+
+      const std::string where =
+          "round " + std::to_string(round) + " step " + std::to_string(step);
+      expect_matches(incremental, ref, where);
+
+      // Rebuild from scratch and compare the aggregates node-free: best()
+      // and the full tie enumeration must agree with the incremental tree.
+      SelectionTree rebuilt{n};
+      for (std::uint32_t s = 0; s < n; ++s) {
+        if (ref.active[s]) rebuilt.set_key(s, ref.key[s]);
+      }
+      ASSERT_EQ(rebuilt.active_count(), incremental.active_count()) << where;
+      const SelectionTree::Best a = incremental.best();
+      const SelectionTree::Best b = rebuilt.best();
+      ASSERT_EQ(a.ties, b.ties) << where;
+      if (a.ties != 0) {
+        EXPECT_EQ(a.slot, b.slot) << where;
+        EXPECT_EQ(a.key, b.key) << where;
+        for (std::uint32_t r = 0; r < a.ties; ++r) {
+          EXPECT_EQ(incremental.tie_at(r), rebuilt.tie_at(r)) << where << " rank " << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sqos::core

@@ -53,9 +53,12 @@ TEST(MetadataManager, ReplicaListQueryReturnsNonHolders) {
   mm.handle_register(reg(3, 128.0, {7}));
   const ReplicaListReplyMsg r = mm.handle_replica_list_query(7);
   EXPECT_EQ(r.current_replicas, 2u);
-  ASSERT_EQ(r.non_holders.size(), 1u);
-  EXPECT_EQ(r.non_holders[0].rm, net::NodeId{2});
-  EXPECT_EQ(r.non_holders[0].initial_bandwidth, Bandwidth::mbps(19.0));
+  ASSERT_EQ(r.non_holder_count(), 1u);
+  EXPECT_EQ(r.non_holder(0), net::NodeId{2});
+  EXPECT_EQ(r.catalog->bandwidth[r.non_holder_slot(0)], Bandwidth::mbps(19.0));
+  // The wire-size accounting must match the materialized-vector era: one
+  // (rm, bandwidth) pair per non-holder plus the two scalar fields.
+  EXPECT_EQ(r.estimated_size(), message_size(2 + 2 * 1));
 }
 
 TEST(MetadataManager, ReplicationDoneAddsReplica) {
@@ -67,7 +70,7 @@ TEST(MetadataManager, ReplicationDoneAddsReplica) {
   done.file = 7;
   mm.handle_replication_done(done);
   EXPECT_EQ(mm.replica_count(7), 2u);
-  EXPECT_TRUE(mm.handle_replica_list_query(7).non_holders.empty());
+  EXPECT_EQ(mm.handle_replica_list_query(7).non_holder_count(), 0u);
 }
 
 TEST(MetadataManager, ReplicaDeleteRemoves) {
