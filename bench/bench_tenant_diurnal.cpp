@@ -1,0 +1,139 @@
+// Tenant scenario T2 — bursty and diurnal arrival mixes (ROADMAP item 3).
+//
+// Three tenants with distinct arrival envelopes share the paper cluster: a
+// steady baseline tenant, a bursty tenant (many short on/off cycles whose
+// on-window intensity spikes well above its mean), and a diurnal tenant
+// (two long day/night cycles, anti-phased against the bursty tenant). The
+// mix exercises the controller's two directions in alternation: during
+// bursts the ceiling reclaim throttles the spiking tenant, and in quiet
+// windows the additive increase hands the bandwidth back.
+//
+// Renders the per-tenant SLO table with the Jain fairness index for
+// controller-off and controller-on, and emits every per-tenant counter as
+// an exact JSON metric for the determinism cross-check (jobs=1 vs jobs=4)
+// and the committed-baseline gate.
+#include "bench_common.hpp"
+#include "stats/tenant_metrics.hpp"
+
+namespace {
+
+using namespace sqos;
+
+exp::ExperimentParams diurnal_params(bool controller_on, bool quick) {
+  exp::ExperimentParams params;
+  params.mode = core::AllocationMode::kFirm;
+  params.policy = core::PolicyWeights::p100();
+
+  qos::TenantSlo steady;
+  steady.name = "steady";
+  steady.clients = 2;
+  steady.floor = Bandwidth::mbps(8.0);
+  steady.ceiling = Bandwidth::mbps(64.0);
+  steady.latency_target = SimTime::seconds(600.0);
+
+  qos::TenantSlo bursty;
+  bursty.name = "bursty";
+  bursty.clients = 3;
+  bursty.floor = Bandwidth::mbps(4.0);
+  bursty.ceiling = Bandwidth::mbps(96.0);
+
+  qos::TenantSlo diurnal;
+  diurnal.name = "diurnal";
+  diurnal.clients = 3;
+  diurnal.floor = Bandwidth::mbps(4.0);
+  diurnal.ceiling = Bandwidth::mbps(96.0);
+  params.tenants = {steady, bursty, diurnal};
+
+  params.qos_controller.enabled = controller_on;
+  params.qos_controller.period = SimTime::seconds(10.0);
+
+  workload::TenantPatternParams pattern;
+  pattern.duration = SimTime::seconds(quick ? 600.0 : 1800.0);
+
+  workload::TenantMixEntry steady_mix;
+  steady_mix.users = 8;
+  steady_mix.mean_interarrival = SimTime::seconds(90.0);
+
+  // Bursty: 8 short cycles, active 25% of each — the on-window intensity is
+  // 4x the mean, so every burst oversubscribes the cluster briefly.
+  workload::TenantMixEntry bursty_mix;
+  bursty_mix.users = 24;
+  bursty_mix.mean_interarrival = SimTime::seconds(20.0);
+  bursty_mix.shape = workload::ArrivalShape::kBursty;
+  bursty_mix.duty = 0.25;
+  bursty_mix.cycles = 8;
+
+  // Diurnal: two long day/night cycles, anti-phased (active while the
+  // bursty tenant's cycle is mostly off at the start of the run).
+  workload::TenantMixEntry diurnal_mix;
+  diurnal_mix.users = 24;
+  diurnal_mix.mean_interarrival = SimTime::seconds(30.0);
+  diurnal_mix.shape = workload::ArrivalShape::kDiurnal;
+  diurnal_mix.duty = 0.5;
+  diurnal_mix.cycles = 2;
+  diurnal_mix.phase = 0.5;
+
+  pattern.mix = {steady_mix, bursty_mix, diurnal_mix};
+  params.tenant_pattern = pattern;
+  return params;
+}
+
+void record_tenant_json(const char* run, const exp::ExperimentResult& r) {
+  bench::JsonSink& sink = bench::json_sink();
+  if (sink.path.empty()) return;
+  const std::string base = std::string{"diurnal."} + run + ".";
+  sink.report.add(base + "jain_index", r.jain_index, "", MetricGoal::kExact);
+  sink.report.add(base + "floor_violation_rate", r.floor_violation_rate, "",
+                  MetricGoal::kExact);
+  for (const stats::TenantSummary& t : r.per_tenant) {
+    const std::string tag = base + t.name + ".";
+    sink.report.add(tag + "achieved_mbps", t.achieved_mbps, "Mbps", MetricGoal::kExact);
+    sink.report.add(tag + "delivered_bytes", static_cast<double>(t.delivered_bytes), "bytes",
+                    MetricGoal::kExact);
+    sink.report.add(tag + "admitted", static_cast<double>(t.admitted), "", MetricGoal::kExact);
+    sink.report.add(tag + "throttled", static_cast<double>(t.throttled), "",
+                    MetricGoal::kExact);
+    sink.report.add(tag + "floor_violations", static_cast<double>(t.floor_violations), "",
+                    MetricGoal::kExact);
+    sink.report.add(tag + "periods", static_cast<double>(t.periods), "", MetricGoal::kExact);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  bench::print_preamble("Tenant scenario T2 — bursty + diurnal mix",
+                        "per-tenant SLO violations and Jain fairness under duty-cycled load",
+                        args);
+
+  bench::CellSweep sweep{args};
+  const std::size_t off_cell = sweep.submit(diurnal_params(false, args.quick));
+  const std::size_t on_cell = sweep.submit(diurnal_params(true, args.quick));
+  sweep.run();
+
+  const exp::ExperimentResult& off = sweep.result(off_cell);
+  const exp::ExperimentResult& on = sweep.result(on_cell);
+
+  std::printf("-- controller OFF --\n%s\n", stats::render_tenant_table(off.per_tenant).c_str());
+  std::printf("-- controller ON  --\n%s\n", stats::render_tenant_table(on.per_tenant).c_str());
+  record_tenant_json("off", off);
+  record_tenant_json("on", on);
+
+  CsvWriter csv = bench::open_csv(
+      args, {"controller", "tenant", "achieved_mbps", "floor_violations", "periods",
+             "throttled", "jain_index"});
+  for (const auto* run : {&off, &on}) {
+    for (const stats::TenantSummary& t : run->per_tenant) {
+      csv.row({run == &off ? "off" : "on", t.name, format_double(t.achieved_mbps, 4),
+               std::to_string(t.floor_violations), std::to_string(t.periods),
+               std::to_string(t.throttled), format_double(run->jain_index, 6)});
+    }
+  }
+
+  std::printf("aggregate floor-violation rate: off=%s on=%s | Jain off=%.4f on=%.4f\n",
+              format_percent(off.floor_violation_rate, 2).c_str(),
+              format_percent(on.floor_violation_rate, 2).c_str(), off.jain_index,
+              on.jain_index);
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <unordered_map>
 #include <utility>
 
@@ -167,6 +168,36 @@ void InvariantAuditor::check_time_monotonicity(std::vector<Violation>& out) {
   last_audit_time_ = now;
 }
 
+void InvariantAuditor::check_tenant_conservation(std::vector<Violation>& out) {
+  // Per-tenant allocated bandwidth on each RM must sum to exactly what the
+  // ledger records for that RM: every allocated byte/s belongs to exactly
+  // one tenant (tenant 0 doubles as "untenanted", so the check degenerates
+  // to flow-allocation-agreement on clusters without tenants).
+  const dfs::Cluster& c = cluster_;
+  for (std::size_t i = 0; i < c.rm_count(); ++i) {
+    const dfs::ResourceManager& rm = c.rm(i);
+    std::map<std::uint32_t, double> by_tenant;  // ordered: deterministic report order
+    for (const storage::Flow& f : rm.throttle_group().flows().active()) {
+      by_tenant[f.tenant] += f.rate.bps();
+    }
+    double tenant_sum = 0.0;
+    for (const auto& [tenant, rate] : by_tenant) {
+      if (rate < 0.0) {
+        report(out, "tenant-conservation", "ROADMAP item 3", rm.name(),
+               "tenant " + std::to_string(tenant) + " holds negative bandwidth " + num(rate) +
+                   " B/s");
+      }
+      tenant_sum += rate;
+    }
+    const double ledger = rm.ledger().current_allocation().bps();
+    if (!close(tenant_sum, ledger, 1e-9)) {
+      report(out, "tenant-conservation", "ROADMAP item 3", rm.name(),
+             "per-tenant allocation sum " + num(tenant_sum) + " B/s != ledger allocation " +
+                 num(ledger) + " B/s");
+    }
+  }
+}
+
 void InvariantAuditor::check_mm_disk_agreement(std::vector<Violation>& out) {
   const dfs::Cluster& c = cluster_;
   std::unordered_map<std::uint32_t, std::size_t> by_node;
@@ -243,6 +274,7 @@ std::vector<Violation> InvariantAuditor::audit_now() {
   check_ledger_conservation(found);
   check_non_negative_resources(found);
   check_time_monotonicity(found);
+  check_tenant_conservation(found);
   for (const CustomInvariant& inv : custom_) {
     inv.check(cluster_, [this, &inv, &found](std::string subject, std::string detail) {
       report(found, inv.name, inv.paper_ref, std::move(subject), std::move(detail));

@@ -108,6 +108,7 @@ class InvariantAuditor {
   void check_ledger_conservation(std::vector<Violation>& out);
   void check_non_negative_resources(std::vector<Violation>& out);
   void check_time_monotonicity(std::vector<Violation>& out);
+  void check_tenant_conservation(std::vector<Violation>& out);
 
   // Quiescent catalog.
   void check_mm_disk_agreement(std::vector<Violation>& out);

@@ -62,6 +62,9 @@ std::string FuzzResult::repro_line() const {
   if (options.file_count != defaults.file_count) {
     line += " --files=" + std::to_string(options.file_count);
   }
+  if (options.tenant_count != defaults.tenant_count) {
+    line += " --tenants=" + std::to_string(options.tenant_count);
+  }
   if (options.with_faults) line += " --faults";
   if (options.mode == core::AllocationMode::kSoft) line += " --soft";
   if (options.inject_overallocation_bug) line += " --inject-overallocation-bug";
@@ -210,6 +213,23 @@ OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
   cfg.mm_shards = options_.mm_shards;
   cfg.mode = options_.mode;
   cfg.seed = options_.seed;
+  // Mixed-tenant population: contiguous near-even client blocks with
+  // staggered SLOs (floors ramp up, ceilings ramp wider), a pure function of
+  // (tenant_count, client_count) so replays rebuild the identical tenancy.
+  if (options_.tenant_count > 0) {
+    const std::size_t tenants = std::min(options_.tenant_count, options_.client_count);
+    const std::size_t base = options_.client_count / tenants;
+    const std::size_t rem = options_.client_count % tenants;
+    for (std::size_t t = 0; t < tenants; ++t) {
+      qos::TenantSlo slo;
+      slo.clients = base + (t < rem ? 1 : 0);
+      slo.floor = Bandwidth::mbps(0.5 + 0.5 * static_cast<double>(t));
+      slo.ceiling = Bandwidth::mbps(8.0 + 2.0 * static_cast<double>(t));
+      cfg.tenants.push_back(std::move(slo));
+    }
+    cfg.qos_controller.enabled = true;
+    cfg.qos_controller.period = SimTime::seconds(2.0);
+  }
 
   auto built = dfs::Cluster::build(std::move(cfg), dfs::FileDirectory{std::move(metas)});
   assert(built.is_ok());
@@ -249,6 +269,15 @@ OpFuzzer::RunOutcome OpFuzzer::execute(const std::vector<FuzzOp>& ops,
     }
   }
   faults.install(*cluster);
+
+  // Tenanted runs tick the AIMD controller across the whole schedule (same
+  // horizon formula as run(): op delays plus the 30 s drain tail), so the
+  // tenant-conservation invariant audits under live rate adjustment.
+  if (options_.tenant_count > 0) {
+    SimTime controller_until = sim.now() + SimTime::seconds(30.0);
+    for (const FuzzOp& op : ops) controller_until += op.delay;
+    cluster->start_qos_controller(controller_until);
+  }
 
   for (const FuzzOp& op : ops) {
     sim.run_until(sim.now() + op.delay);

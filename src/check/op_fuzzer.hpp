@@ -60,6 +60,12 @@ struct FuzzOptions {
   std::size_t file_count = 12;
   core::AllocationMode mode = core::AllocationMode::kFirm;
 
+  /// Mixed-tenant population: split the clients into this many contiguous
+  /// tenants with deterministic staggered SLOs and run the AIMD controller
+  /// for the whole schedule. 0 (the default, and every historical seed)
+  /// builds the untenanted cluster — byte-identical replays.
+  std::size_t tenant_count = 0;
+
   bool with_faults = false;  // compose a random FaultSchedule
   bool minimize = true;      // shrink the schedule after a violation
   std::size_t max_minimize_runs = 160;

@@ -23,6 +23,23 @@ Result<std::unique_ptr<Cluster>> Cluster::build(ClusterConfig config, FileDirect
       return Status::invalid_argument("RM '" + rm.name + "' has no bandwidth");
     }
   }
+  if (!config.tenants.empty()) {
+    std::size_t tenant_clients = 0;
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+      qos::TenantSlo& slo = config.tenants[t];
+      if (slo.clients == 0) {
+        return Status::invalid_argument("tenant " + std::to_string(t) + " has no clients");
+      }
+      if (slo.ceiling < slo.floor) {
+        return Status::invalid_argument("tenant " + std::to_string(t) + " ceiling below floor");
+      }
+      if (slo.name.empty()) slo.name = "T" + std::to_string(t + 1);
+      tenant_clients += slo.clients;
+    }
+    if (tenant_clients != config.client_count) {
+      return Status::invalid_argument("tenant client counts must sum to client_count");
+    }
+  }
 
   auto cluster = std::unique_ptr<Cluster>(new Cluster(std::move(config), std::move(directory)));
   const Status s = cluster->construct();
@@ -76,11 +93,38 @@ Status Cluster::construct() {
   gc_ = std::make_unique<GarbageCollector>(*sim_, *net_, *mm_, config_.deletion);
   gc_->attach_rms(rm_ptrs);
 
+  // Multi-tenant QoS (opt-in): one manager for the whole cluster, a
+  // token-bucket column per RM, a utilization probe reading each RM's live
+  // allocated/cap ratio in index order.
+  if (!config_.tenants.empty()) {
+    qos_ = std::make_unique<qos::QosManager>(config_.tenants, config_.qos_controller, rms_.size());
+    qos_->set_utilization_probe([this](std::size_t r) {
+      const ResourceManager& rm = *rms_[r];
+      const Bandwidth cap = rm.cap();
+      return cap.is_positive() ? rm.allocated() / cap : 0.0;
+    });
+    qos_->set_tenant_rate_probe([this](qos::TenantId t) {
+      // RM index order, then flow insertion order: a deterministic fold.
+      double sum = 0.0;
+      for (const auto& rm : rms_) {
+        for (const storage::Flow& f : rm->throttle_group().flows().active()) {
+          if (f.tenant == t) sum += f.rate.bps();
+        }
+      }
+      return sum;
+    });
+    for (std::size_t r = 0; r < rms_.size(); ++r) rms_[r]->set_qos(qos_.get(), r);
+  }
+
   // ...and the DFSCs are launched last to take over the storage system.
   clients_.reserve(config_.client_count);
   for (std::size_t i = 0; i < config_.client_count; ++i) {
     DfsClient::Params params;
     params.name = "DFSC" + std::to_string(i + 1);
+    if (qos_ != nullptr) {
+      params.tenant = qos_->tenant_of_client(i);
+      params.qos = qos_.get();
+    }
     params.mode = config_.mode;
     params.policy = config_.policy;
     params.negotiation = config_.negotiation == NegotiationModel::kEcnp
@@ -145,6 +189,17 @@ void Cluster::start_resource_refresh(SimTime interval, SimTime until) {
         }
       }
     });
+  }
+}
+
+void Cluster::start_qos_controller(SimTime until) {
+  if (qos_ == nullptr) return;
+  const SimTime period = config_.qos_controller.period;
+  assert(period > SimTime::zero());
+  // Ticks are pre-scheduled like start_resource_refresh: the controller's
+  // cadence is part of the experiment definition, not discovered at runtime.
+  for (SimTime t = sim_->now() + period; t <= until; t += period) {
+    sim_->schedule_at(t, [this] { qos_->tick(sim_->now()); });
   }
 }
 

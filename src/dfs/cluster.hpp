@@ -18,6 +18,7 @@
 #include "dfs/replication_agent.hpp"
 #include "dfs/resource_manager.hpp"
 #include "net/network.hpp"
+#include "qos/qos_manager.hpp"
 #include "sim/simulator.hpp"
 #include "storage/block_device.hpp"
 #include "util/error.hpp"
@@ -44,6 +45,12 @@ class Cluster {
   /// "maintain the dynamic runtime information of its host"). Heals MM state
   /// after commit/delete messages lost to partitions or crashes.
   void start_resource_refresh(SimTime interval, SimTime until);
+
+  /// Multi-tenant QoS control loop: pre-schedule one controller tick per
+  /// configured period until `until` (inclusive). No-op on untenanted
+  /// clusters. Accounting runs every tick; AIMD rate adjustment only when
+  /// config().qos_controller.enabled.
+  void start_qos_controller(SimTime until);
 
   /// Place a static replica on an RM (bootstrap; no protocol traffic).
   [[nodiscard]] Status place_replica(std::size_t rm_index, FileId file);
@@ -77,6 +84,10 @@ class Cluster {
   [[nodiscard]] const GarbageCollector& gc() const { return *gc_; }
   [[nodiscard]] const FileDirectory& directory() const { return directory_; }
   [[nodiscard]] const ClusterConfig& config() const { return config_; }
+
+  /// The tenant QoS manager, or null when the cluster is untenanted.
+  [[nodiscard]] qos::QosManager* qos() { return qos_.get(); }
+  [[nodiscard]] const qos::QosManager* qos() const { return qos_.get(); }
 
   [[nodiscard]] std::size_t rm_count() const { return rms_.size(); }
   [[nodiscard]] ResourceManager& rm(std::size_t i) { return *rms_[i]; }
@@ -115,6 +126,7 @@ class Cluster {
   std::unique_ptr<ReplicationAgent> agent_;
   std::unique_ptr<GarbageCollector> gc_;
   std::vector<std::unique_ptr<DfsClient>> clients_;
+  std::unique_ptr<qos::QosManager> qos_;  // null when config_.tenants is empty
 };
 
 }  // namespace sqos::dfs

@@ -11,6 +11,7 @@
 #include "core/replication_config.hpp"
 #include "core/selection_policy.hpp"
 #include "net/latency_model.hpp"
+#include "qos/tenant.hpp"
 #include "util/units.hpp"
 
 namespace sqos::dfs {
@@ -55,6 +56,16 @@ struct ClusterConfig {
   /// Client holder-cache TTL (see DfsClient::Params::holder_cache_ttl);
   /// zero = the paper's always-query behaviour.
   SimTime holder_cache_ttl = SimTime::zero();
+
+  /// Multi-tenant QoS: tenants partition the clients into contiguous index
+  /// ranges (tenant i owns the slo.clients indices after tenant i-1's).
+  /// Empty (the default) disables the QoS subsystem entirely — no manager,
+  /// no buckets, byte-identical untenanted behavior. When non-empty, the
+  /// per-tenant client counts must sum to client_count.
+  std::vector<qos::TenantSlo> tenants;
+
+  /// Global AIMD controller settings (only read when tenants is non-empty).
+  qos::ControllerConfig qos_controller;
 
   std::uint64_t seed = 1;
   bool allow_oversubscribe = false;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/recorder.hpp"
+#include "qos/qos_manager.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -35,6 +36,7 @@ ResourceManager* DfsClient::rm_by_node(net::NodeId id) const {
 }
 
 void DfsClient::stream_file(FileId file, Callback done) {
+  if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
   ctx.required = directory_.get(file).bitrate;
@@ -44,6 +46,7 @@ void DfsClient::stream_file(FileId file, Callback done) {
 }
 
 void DfsClient::open(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
   ctx.required = directory_.get(file).bitrate;
@@ -53,6 +56,7 @@ void DfsClient::open(FileId file, std::function<void(Result<std::uint64_t>)> ope
 }
 
 void DfsClient::open_write(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
   ctx.required = directory_.get(file).bitrate;
@@ -72,6 +76,7 @@ void DfsClient::open_write(FileId file, std::function<void(Result<std::uint64_t>
 void DfsClient::write_file(FileId file, std::size_t replicas, Callback done) {
   ++counters_.writes_attempted;
   const FileMeta& meta = directory_.get(file);
+  if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, meta.size);
   const std::uint64_t write_id = next_open_id_++;
 
   WriteContext ctx;
@@ -226,6 +231,7 @@ void DfsClient::dispatch_write(std::uint64_t write_id, net::NodeId target) {
   request.firm = params_.mode == core::AllocationMode::kFirm;
   request.auto_complete = true;
   request.write = true;
+  request.tenant = params_.tenant;
 
   // Per-copy deadline (lost request/completion counts as a rejection, which
   // triggers the normal failover to the next-ranked candidate).
@@ -610,6 +616,7 @@ void DfsClient::evaluate_bids(std::uint64_t open_id) {
   request.firm = params_.mode == core::AllocationMode::kFirm;
   request.auto_complete = !ctx.explicit_session;
   request.write = ctx.write_session;
+  request.tenant = params_.tenant;
   if (ctx.explicit_session) {
     sessions_.emplace(open_id, SessionInfo{winner, ctx.file, ctx.write_session});
   }

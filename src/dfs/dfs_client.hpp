@@ -32,6 +32,10 @@ namespace sqos::obs {
 struct Recorder;
 }
 
+namespace sqos::qos {
+class QosManager;
+}
+
 namespace sqos::dfs {
 
 class DfsClient {
@@ -55,6 +59,16 @@ class DfsClient {
     /// CFP with has_file = false, and replication-created replicas are
     /// simply not used until the entry expires.
     SimTime holder_cache_ttl = SimTime::zero();
+
+    /// Owning tenant id, stamped on every data request this client issues.
+    /// 0 (the default) is either the first tenant or — in untenanted
+    /// clusters — an inert label the RMs ignore.
+    std::uint32_t tenant = 0;
+
+    /// QoS accounting sink (null in untenanted clusters). Demand is recorded
+    /// here when the access *starts* — failed negotiations never reach an
+    /// RM, but their unmet demand must still count against the tenant floor.
+    qos::QosManager* qos = nullptr;
   };
 
   /// Completion of a whole streamed access (or of the open, for explicit

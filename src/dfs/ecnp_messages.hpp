@@ -78,6 +78,8 @@ struct DataRequestMsg {
   bool firm = false;      // RM-side final admission applies in firm mode
   bool auto_complete = true;  // stream mode: RM completes after size/rate
   bool write = false;     // write path: the RM stores a replica on completion
+  std::uint32_t tenant = 0;  // requesting tenant (0 when untenanted); rides in
+                             // the header, so estimated_size is unchanged
   [[nodiscard]] static Bytes estimated_size() { return message_size(6); }
 };
 

@@ -8,6 +8,7 @@
 #include "core/replication_planner.hpp"
 #include "dfs/replication_agent.hpp"
 #include "obs/recorder.hpp"
+#include "qos/qos_manager.hpp"
 #include "util/logging.hpp"
 
 namespace sqos::dfs {
@@ -99,6 +100,9 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
   ++counters_.data_requests;
   const FileMeta& meta = directory_.get(msg.file);
   const SimTime now = sim_.now();
+  // Tenant demand is NOT recorded here: the issuing client records it when
+  // the access starts, so demand from failed negotiations (which never
+  // produce a data request) still counts against the tenant's floor.
 
   const auto send_complete = [this, client](DataCompleteMsg m,
                                             std::function<void(const DataCompleteMsg&)> deliver) {
@@ -128,6 +132,23 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
     send_complete(reject, std::move(deliver_complete));
     return false;
   }
+  // Tenant token-bucket admission, after the firm/space check so a firm
+  // reject never consumes tokens. A refused request is reported exactly like
+  // a firm reject (accepted=false) — the client retries or fails upstream.
+  if (qos_ != nullptr && !qos_->admit(msg.tenant, qos_index_, meta.size, now)) {
+    ++counters_.qos_throttled;
+    if (obs_ != nullptr) {
+      obs_->trace.instant(obs_track_, "reject", "ecnp",
+                          {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
+                           obs::arg("reason", "tenant_throttle")});
+    }
+    DataCompleteMsg reject;
+    reject.open_id = msg.open_id;
+    reject.file = msg.file;
+    reject.accepted = false;
+    send_complete(reject, std::move(deliver_complete));
+    return false;
+  }
   if (msg.write) {
     // Reserve the space now; the replica becomes visible (occupation, MM
     // commit by the client) only when the transfer completes. The pending
@@ -146,8 +167,9 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
   if (!msg.write) heat_.record_access(msg.file);
   last_access_[msg.file] = now;
 
-  const storage::FlowId flow = group_.add_flow(
-      msg.write ? storage::FlowKind::kWrite : storage::FlowKind::kRead, msg.file, msg.rate, now);
+  const storage::FlowId flow =
+      group_.add_flow(msg.write ? storage::FlowKind::kWrite : storage::FlowKind::kRead, msg.file,
+                      msg.rate, now, msg.tenant);
   sync_ledger();
 
   if (msg.auto_complete) {
@@ -177,6 +199,10 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
           ++counters_.streams_completed;
         }
         done.accepted = true;
+        if (qos_ != nullptr) {
+          // Full file delivered; latency = admission-to-completion time.
+          qos_->on_complete(msg.tenant, directory_.get(msg.file).size, sim_.now() - started);
+        }
         if (obs_ != nullptr) {
           obs_->trace.complete(obs_track_, "transfer", "flow", started,
                                {obs::arg("file", static_cast<std::uint64_t>(msg.file)),
@@ -210,13 +236,23 @@ void ResourceManager::handle_release(net::NodeId client, const ReleaseMsg& msg) 
     return;
   }
   const Session session = it->second;
-  if (obs_ != nullptr) {
-    // Look the flow up before removal: its start time bounds the span.
-    if (const storage::Flow* flow = group_.flows().find(session.flow); flow != nullptr) {
+  // Look the flow up before removal: its start time bounds the trace span
+  // and the tenant delivery credit below.
+  if (const storage::Flow* flow = group_.flows().find(session.flow); flow != nullptr) {
+    if (obs_ != nullptr) {
       obs_->trace.complete(obs_track_, "session", "flow", flow->started,
                            {obs::arg("file", static_cast<std::uint64_t>(session.file)),
                             obs::arg("kind", storage::to_string(flow->kind)),
                             obs::arg("committed", msg.commit ? "true" : "false")});
+    }
+    if (qos_ != nullptr) {
+      // An explicit session delivers what the allocation moved while it was
+      // open, capped at the file size (a session held past the transfer end
+      // doesn't mint extra bytes).
+      const SimTime held = sim_.now() - flow->started;
+      const Bytes size = directory_.get(session.file).size;
+      const auto moved = static_cast<std::int64_t>(flow->rate.bytes_over(held));
+      qos_->on_complete(flow->tenant, moved < size.count() ? Bytes::of(moved) : size, held);
     }
   }
   group_.remove_flow(session.flow);

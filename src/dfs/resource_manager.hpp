@@ -32,6 +32,10 @@ namespace sqos::obs {
 struct Recorder;
 }
 
+namespace sqos::qos {
+class QosManager;
+}
+
 namespace sqos::dfs {
 
 class ReplicationAgent;
@@ -199,6 +203,7 @@ class ResourceManager {
     std::uint64_t replicas_received = 0;
     std::uint64_t replicas_deleted = 0;
     std::uint64_t replication_bytes_in = 0;  // payload bytes landed by replication
+    std::uint64_t qos_throttled = 0;         // data requests refused by a tenant bucket
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
@@ -207,6 +212,14 @@ class ResourceManager {
   void set_observer(obs::Recorder* recorder, std::uint32_t track) {
     obs_ = recorder;
     obs_track_ = track;
+  }
+
+  /// Optional multi-tenant QoS manager; null (the default) disables tenant
+  /// admission and accounting entirely — the untenanted paper behavior.
+  /// `rm_index` selects this RM's token-bucket column.
+  void set_qos(qos::QosManager* qos, std::size_t rm_index) {
+    qos_ = qos;
+    qos_index_ = rm_index;
   }
 
  private:
@@ -252,6 +265,8 @@ class ResourceManager {
   Counters counters_;
   obs::Recorder* obs_ = nullptr;
   std::uint32_t obs_track_ = 0;
+  qos::QosManager* qos_ = nullptr;  // null = untenanted cluster
+  std::size_t qos_index_ = 0;       // this RM's token-bucket column
 };
 
 }  // namespace sqos::dfs

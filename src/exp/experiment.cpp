@@ -54,6 +54,8 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   config.replication = params.replication;
   config.deletion = params.deletion;
   config.negotiation = params.negotiation;
+  config.tenants = params.tenants;
+  config.qos_controller = params.qos_controller;
   config.seed = root.fork("cluster").seed();
 
   auto built = dfs::Cluster::build(std::move(config), std::move(directory));
@@ -89,16 +91,50 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
     if (!loaded.is_ok()) die(loaded.status(), "trace load");
     pattern = std::move(loaded).take();
     if (!pattern.empty()) pattern_duration = pattern.back().time;
+  } else if (params.tenant_pattern.has_value()) {
+    if (params.tenant_pattern->mix.size() != params.tenants.size()) {
+      die(Status::internal("tenant_pattern has " +
+                           std::to_string(params.tenant_pattern->mix.size()) +
+                           " mix entries but " + std::to_string(params.tenants.size()) +
+                           " tenants are configured"),
+          "tenant pattern");
+    }
+    Rng pattern_rng = root.fork("pattern");
+    pattern =
+        workload::generate_tenant_pattern(cluster.directory(), *params.tenant_pattern, pattern_rng);
+    pattern_duration = params.tenant_pattern->duration;
   } else {
     Rng pattern_rng = root.fork("pattern");
     pattern = workload::generate_pattern(cluster.directory(), pattern_params, pattern_rng);
   }
 
   workload::RequestScheduler scheduler{cluster, std::move(pattern)};
+  if (params.tenant_pattern.has_value() && cluster.qos() != nullptr) {
+    // generate_tenant_pattern numbers users contiguously per mix entry; route
+    // entry t's users into tenant t's client block so every request carries
+    // that tenant's id (DfsClient::Params::tenant was set at build time).
+    std::vector<std::uint32_t> user_begin;
+    user_begin.reserve(params.tenant_pattern->mix.size() + 1);
+    user_begin.push_back(0);
+    for (const workload::TenantMixEntry& entry : params.tenant_pattern->mix) {
+      user_begin.push_back(user_begin.back() + static_cast<std::uint32_t>(entry.users));
+    }
+    const qos::QosManager* qos = cluster.qos();
+    scheduler.set_user_map([user_begin, qos](std::uint32_t user) {
+      const std::size_t tenants = user_begin.size() - 1;
+      std::size_t t = 0;
+      while (t + 1 < tenants && user >= user_begin[t + 1]) ++t;
+      const auto id = static_cast<qos::TenantId>(t);
+      const std::size_t begin = qos->client_begin(id);
+      const std::size_t width = qos->client_begin(id + 1) - begin;
+      return begin + (user - user_begin[t]) % width;
+    });
+  }
   scheduler.schedule(params.start_offset);
 
   const SimTime pattern_end = params.start_offset + pattern_duration;
   cluster.gc().start(pattern_end);
+  if (cluster.qos() != nullptr) cluster.start_qos_controller(pattern_end);
   std::unique_ptr<stats::RmMonitor> monitor;
   if (params.monitor_interval > SimTime::zero()) {
     monitor = std::make_unique<stats::RmMonitor>(cluster, params.monitor_interval);
@@ -120,6 +156,9 @@ ExperimentResult run_experiment(const ExperimentParams& params) {
   result.executed_events = cluster.simulator().executed_events();
   result.per_rm = stats::collect_rm_summaries(cluster, end);
   result.overallocate_ratio = stats::aggregate_overallocate_ratio(result.per_rm);
+  result.per_tenant = stats::collect_tenant_summaries(cluster, end);
+  result.jain_index = stats::jain_fairness(result.per_tenant);
+  result.floor_violation_rate = stats::aggregate_floor_violation_rate(result.per_tenant);
 
   result.requests = scheduler.dispatched();
   result.completed = scheduler.completed();
@@ -211,12 +250,37 @@ ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds, std::s
                            std::to_string(avg.per_rm.size())),
           "per-RM averaging");
     }
+    if (r.per_tenant.size() != avg.per_tenant.size()) {
+      die(Status::internal("seed " + std::to_string(params.seed + s) + " produced " +
+                           std::to_string(r.per_tenant.size()) +
+                           " per-tenant summaries, expected " +
+                           std::to_string(avg.per_tenant.size())),
+          "per-tenant averaging");
+    }
     avg.fail_rate += r.fail_rate;
     avg.overallocate_ratio += r.overallocate_ratio;
     for (std::size_t i = 0; i < avg.per_rm.size(); ++i) {
       avg.per_rm[i].assigned_bytes += r.per_rm[i].assigned_bytes;
       avg.per_rm[i].overallocated_bytes += r.per_rm[i].overallocated_bytes;
       avg.per_rm[i].overallocate_ratio += r.per_rm[i].overallocate_ratio;
+    }
+    avg.jain_index += r.jain_index;
+    avg.floor_violation_rate += r.floor_violation_rate;
+    for (std::size_t i = 0; i < avg.per_tenant.size(); ++i) {
+      stats::TenantSummary& a = avg.per_tenant[i];
+      const stats::TenantSummary& b = r.per_tenant[i];
+      a.achieved_mbps += b.achieved_mbps;
+      a.demand_bytes += b.demand_bytes;
+      a.delivered_bytes += b.delivered_bytes;
+      a.admitted += b.admitted;
+      a.throttled += b.throttled;
+      a.completed += b.completed;
+      a.periods += b.periods;
+      a.floor_violations += b.floor_violations;
+      a.latency_samples += b.latency_samples;
+      a.latency_violations += b.latency_violations;
+      a.floor_violation_rate += b.floor_violation_rate;
+      a.mean_latency_ms += b.mean_latency_ms;
     }
     avg.requests += r.requests;
     avg.completed += r.completed;
@@ -247,6 +311,22 @@ ExperimentResult run_averaged(ExperimentParams params, std::size_t seeds, std::s
   const auto avg_u64 = [n](std::uint64_t v) {
     return static_cast<std::uint64_t>(static_cast<double>(v) / n + 0.5);
   };
+  avg.jain_index /= n;
+  avg.floor_violation_rate /= n;
+  for (stats::TenantSummary& t : avg.per_tenant) {
+    t.achieved_mbps /= n;
+    t.demand_bytes = avg_u64(t.demand_bytes);
+    t.delivered_bytes = avg_u64(t.delivered_bytes);
+    t.admitted = avg_u64(t.admitted);
+    t.throttled = avg_u64(t.throttled);
+    t.completed = avg_u64(t.completed);
+    t.periods = avg_u64(t.periods);
+    t.floor_violations = avg_u64(t.floor_violations);
+    t.latency_samples = avg_u64(t.latency_samples);
+    t.latency_violations = avg_u64(t.latency_violations);
+    t.floor_violation_rate /= n;
+    t.mean_latency_ms /= n;
+  }
   avg.requests = avg_u64(avg.requests);
   avg.completed = avg_u64(avg.completed);
   avg.failed = avg_u64(avg.failed);

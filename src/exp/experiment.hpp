@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "stats/qos_metrics.hpp"
 #include "stats/rm_monitor.hpp"
+#include "stats/tenant_metrics.hpp"
 #include "util/error.hpp"
 
 namespace sqos::exp {
@@ -40,6 +41,18 @@ struct ExperimentParams {
   /// populations than the paper's 2 h @ 300 s). Unset = paper_pattern_params
   /// for `users`; when set, `users` is taken from the override instead.
   std::optional<workload::PatternParams> pattern;
+
+  /// Multi-tenant QoS: tenants and controller settings are copied into the
+  /// cluster config (see ClusterConfig::tenants); the controller ticks until
+  /// the arrival window closes. Empty = the untenanted paper model.
+  std::vector<qos::TenantSlo> tenants;
+  qos::ControllerConfig qos_controller;
+
+  /// Mixed-tenant arrival pattern (noisy-neighbor / bursty / diurnal).
+  /// When set it overrides `pattern`/`users`, and its mix must have one
+  /// entry per configured tenant: entry t's users are routed to tenant t's
+  /// client range so every request carries the right tenant id.
+  std::optional<workload::TenantPatternParams> tenant_pattern;
 
   /// Replay a saved trace (workload::save_trace format) instead of
   /// generating arrivals — the paper's fixed-pattern comparison methodology.
@@ -72,6 +85,11 @@ struct [[nodiscard]] ExperimentResult {
   double fail_rate = 0.0;             // firm RT criterion
   double overallocate_ratio = 0.0;    // soft RT criterion (ΣS_OA / ΣS_TA)
   std::vector<stats::RmQosSummary> per_rm;
+
+  // Multi-tenant QoS outputs (empty / identity values for untenanted runs).
+  std::vector<stats::TenantSummary> per_tenant;
+  double jain_index = 1.0;            // fairness over achieved throughput
+  double floor_violation_rate = 0.0;  // Σ violations / Σ periods
 
   // Workload bookkeeping.
   std::uint64_t requests = 0;

@@ -1,0 +1,74 @@
+// Multi-tenant QoS model (ROADMAP item 3).
+//
+// The paper has a single client class, so every DFSC competes for RM
+// bandwidth on equal terms. Real cloud storage multiplexes *tenants* with
+// different service-level objectives onto the same RMs. A tenant here is a
+// contiguous range of DFSC clients sharing one SLO: a throughput floor the
+// operator promises, a ceiling the operator will reclaim beyond, and a
+// latency target for streamed accesses — the software-defined storage QoS
+// model of Tavakoli et al. (arXiv:1805.06161) and PADLL (arXiv:2302.06418)
+// layered over the paper's bid/admission machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/sim_time.hpp"
+#include "util/units.hpp"
+
+namespace sqos::qos {
+
+/// Tenant identity carried by every client and data request. Id 0 is the
+/// first configured tenant; untenanted clusters stamp 0 everywhere, which
+/// keeps the wire format and all historical traces byte-identical.
+using TenantId = std::uint32_t;
+
+/// One tenant's service-level objective. The tenant's id is its index in
+/// the ClusterConfig::tenants vector; its clients are the next `clients`
+/// DFSC indices after the previous tenant's range (contiguous partition).
+struct TenantSlo {
+  std::string name;          // "T1"... (defaulted by the cluster when empty)
+  std::size_t clients = 1;   // number of DFSC clients in this tenant
+
+  /// Throughput floor: the delivered-bytes rate the operator promises per
+  /// controller period (demand permitting). Falling below it while demand
+  /// is unmet counts as an SLO violation.
+  Bandwidth floor;
+
+  /// Throughput ceiling: the rate beyond which the controller reclaims
+  /// bandwidth (multiplicative decrease) under congestion. Must be >= floor.
+  Bandwidth ceiling;
+
+  /// Latency target for one streamed access (admission to completion).
+  /// Transfers slower than this count as latency violations. Zero disables
+  /// the latency accounting for this tenant.
+  SimTime latency_target = SimTime::zero();
+};
+
+/// Global controller configuration. The controller runs on a fixed
+/// sim-time period; accounting (per-period SLO checks, achieved-throughput
+/// windows) always runs when tenants are configured, while the AIMD rate
+/// adjustment is gated by `enabled` — the controller-on vs controller-off
+/// ablation flips only this bit, so both runs tick identically.
+struct ControllerConfig {
+  bool enabled = false;
+  SimTime period = SimTime::seconds(10.0);
+
+  /// An RM counts as congested when allocated/cap exceeds this.
+  double congestion_threshold = 0.90;
+
+  /// Multiplicative decrease applied to a ceiling-busting tenant's rate
+  /// under congestion (classic AIMD beta).
+  double md_factor = 0.5;
+
+  /// Additive increase (bytes/s per period) granted to a floor-violating
+  /// tenant, up to its ceiling.
+  std::int64_t ai_bytes_per_sec = 262144;  // 256 KiB/s
+
+  /// Token-bucket burst: rate * window, clamped below by min_burst_bytes so
+  /// a deeply throttled tenant can still start one small transfer.
+  SimTime burst_window = SimTime::seconds(2.0);
+  std::int64_t min_burst_bytes = 1048576;  // 1 MiB
+};
+
+}  // namespace sqos::qos

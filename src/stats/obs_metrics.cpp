@@ -1,6 +1,7 @@
 #include "stats/obs_metrics.hpp"
 
 #include "dfs/cluster.hpp"
+#include "qos/qos_manager.hpp"
 
 namespace sqos::stats {
 
@@ -55,6 +56,22 @@ void collect_obs_metrics(const dfs::Cluster& cluster, obs::MetricsRegistry& regi
   // instead (see docs/OBSERVABILITY.md).
   registry.counter("gc.deletes").add(cluster.gc().counters().deletes_approved);
   registry.counter("gc.bytes_reclaimed").add(cluster.gc().counters().bytes_reclaimed);
+
+  // Per-tenant QoS counters (only when the cluster is tenanted, so
+  // untenanted metric snapshots are unchanged byte for byte).
+  if (const qos::QosManager* qos = cluster.qos(); qos != nullptr) {
+    for (std::size_t t = 0; t < qos->tenant_count(); ++t) {
+      const qos::TenantStats& ts = qos->stats(static_cast<qos::TenantId>(t));
+      const std::string prefix = "tenant." + qos->slo(static_cast<qos::TenantId>(t)).name + ".";
+      registry.counter(prefix + "demand_bytes").add(ts.demand_bytes);
+      registry.counter(prefix + "delivered_bytes").add(ts.delivered_bytes);
+      registry.counter(prefix + "admitted").add(ts.admitted);
+      registry.counter(prefix + "throttled").add(ts.throttled);
+      registry.counter(prefix + "floor_violations").add(ts.floor_violations);
+      registry.counter(prefix + "rate_decreases").add(ts.rate_decreases);
+      registry.counter(prefix + "rate_increases").add(ts.rate_increases);
+    }
+  }
 }
 
 }  // namespace sqos::stats

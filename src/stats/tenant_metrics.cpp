@@ -1,0 +1,108 @@
+#include "stats/tenant_metrics.hpp"
+
+#include <cstdio>
+
+#include "qos/qos_manager.hpp"
+#include "util/table.hpp"
+
+namespace sqos::stats {
+
+std::vector<TenantSummary> collect_tenant_summaries(const dfs::Cluster& cluster,
+                                                    SimTime duration) {
+  std::vector<TenantSummary> out;
+  const qos::QosManager* qos = cluster.qos();
+  if (qos == nullptr) return out;
+  const double seconds = duration.as_seconds();
+  out.reserve(qos->tenant_count());
+  for (std::size_t t = 0; t < qos->tenant_count(); ++t) {
+    const qos::TenantSlo& slo = qos->slo(static_cast<qos::TenantId>(t));
+    const qos::TenantStats& st = qos->stats(static_cast<qos::TenantId>(t));
+    TenantSummary s;
+    s.tenant = static_cast<std::uint32_t>(t);
+    s.name = slo.name;
+    s.floor_mbps = slo.floor.as_mbps();
+    s.ceiling_mbps = slo.ceiling.as_mbps();
+    s.achieved_mbps =
+        seconds > 0.0 ? static_cast<double>(st.delivered_bytes) * 8.0 / 1e6 / seconds : 0.0;
+    s.demand_bytes = st.demand_bytes;
+    s.delivered_bytes = st.delivered_bytes;
+    s.admitted = st.admitted;
+    s.throttled = st.throttled;
+    s.completed = st.completed;
+    s.periods = st.periods;
+    s.floor_violations = st.floor_violations;
+    s.latency_samples = st.latency_samples;
+    s.latency_violations = st.latency_violations;
+    s.floor_violation_rate =
+        st.periods == 0 ? 0.0
+                        : static_cast<double>(st.floor_violations) / static_cast<double>(st.periods);
+    s.mean_latency_ms = st.latency_samples == 0
+                            ? 0.0
+                            : static_cast<double>(st.latency_sum_us) /
+                                  static_cast<double>(st.latency_samples) / 1000.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double jain_fairness(const std::vector<TenantSummary>& summaries) {
+  if (summaries.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const TenantSummary& s : summaries) {
+    sum += s.achieved_mbps;
+    sum_sq += s.achieved_mbps * s.achieved_mbps;
+  }
+  if (sum_sq <= 0.0) return 1.0;  // nobody got anything: vacuously fair
+  return sum * sum / (static_cast<double>(summaries.size()) * sum_sq);
+}
+
+double aggregate_floor_violation_rate(const std::vector<TenantSummary>& summaries) {
+  std::uint64_t violations = 0;
+  std::uint64_t periods = 0;
+  for (const TenantSummary& s : summaries) {
+    violations += s.floor_violations;
+    periods += s.periods;
+  }
+  return periods == 0 ? 0.0 : static_cast<double>(violations) / static_cast<double>(periods);
+}
+
+std::string render_tenant_table(const std::vector<TenantSummary>& summaries) {
+  AsciiTable table{"Per-tenant SLO"};
+  table.set_header({"tenant", "floor", "ceiling", "achieved", "admitted", "throttled",
+                    "floor viol", "lat viol", "mean lat"});
+  char buf[64];
+  for (const TenantSummary& s : summaries) {
+    std::string row[9];
+    row[0] = s.name;
+    std::snprintf(buf, sizeof buf, "%.2fMbps", s.floor_mbps);
+    row[1] = buf;
+    std::snprintf(buf, sizeof buf, "%.2fMbps", s.ceiling_mbps);
+    row[2] = buf;
+    std::snprintf(buf, sizeof buf, "%.3fMbps", s.achieved_mbps);
+    row[3] = buf;
+    row[4] = std::to_string(s.admitted);
+    row[5] = std::to_string(s.throttled);
+    std::snprintf(buf, sizeof buf, "%llu/%llu (%s)",
+                  static_cast<unsigned long long>(s.floor_violations),
+                  static_cast<unsigned long long>(s.periods),
+                  format_percent(s.floor_violation_rate, 2).c_str());
+    row[6] = buf;
+    std::snprintf(buf, sizeof buf, "%llu/%llu",
+                  static_cast<unsigned long long>(s.latency_violations),
+                  static_cast<unsigned long long>(s.latency_samples));
+    row[7] = buf;
+    std::snprintf(buf, sizeof buf, "%.2fms", s.mean_latency_ms);
+    row[8] = buf;
+    table.add_row({row[0], row[1], row[2], row[3], row[4], row[5], row[6], row[7], row[8]});
+  }
+  std::string rendered = table.render();
+  char footer[128];
+  std::snprintf(footer, sizeof footer, "Jain fairness index: %.4f | floor-violation rate: %s\n",
+                jain_fairness(summaries),
+                format_percent(aggregate_floor_violation_rate(summaries), 2).c_str());
+  rendered += footer;
+  return rendered;
+}
+
+}  // namespace sqos::stats

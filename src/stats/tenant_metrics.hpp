@@ -1,0 +1,52 @@
+// End-of-run multi-tenant QoS extraction: per-tenant SLO summaries, the
+// SLO-violation-rate table, and the Jain fairness index over achieved
+// throughput. All values derive from the QosManager's integer counters, so
+// the rendered tables are byte-identical across repeats and jobs= values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfs/cluster.hpp"
+#include "util/sim_time.hpp"
+
+namespace sqos::stats {
+
+struct TenantSummary {
+  std::uint32_t tenant = 0;
+  std::string name;
+  double floor_mbps = 0.0;
+  double ceiling_mbps = 0.0;
+  double achieved_mbps = 0.0;  // delivered_bytes over the run duration
+  std::uint64_t demand_bytes = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t throttled = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t periods = 0;
+  std::uint64_t floor_violations = 0;
+  std::uint64_t latency_samples = 0;
+  std::uint64_t latency_violations = 0;
+  double floor_violation_rate = 0.0;  // floor_violations / periods
+  double mean_latency_ms = 0.0;       // 0 when no latency target is set
+};
+
+/// One summary per configured tenant; empty for untenanted clusters.
+/// `duration` is the workload window achieved_mbps is averaged over.
+[[nodiscard]] std::vector<TenantSummary> collect_tenant_summaries(const dfs::Cluster& cluster,
+                                                                  SimTime duration);
+
+/// Jain fairness index over per-tenant achieved throughput:
+/// J = (Σx)² / (n·Σx²), 1.0 = perfectly fair, 1/n = one tenant takes all.
+/// Defined as 1.0 for an empty set or all-zero throughput.
+[[nodiscard]] double jain_fairness(const std::vector<TenantSummary>& summaries);
+
+/// Aggregate floor-violation rate: Σ violations / Σ periods across tenants.
+[[nodiscard]] double aggregate_floor_violation_rate(const std::vector<TenantSummary>& summaries);
+
+/// The SLO-violation table: one row per tenant plus a footer with the Jain
+/// index and aggregate violation rate.
+[[nodiscard]] std::string render_tenant_table(const std::vector<TenantSummary>& summaries);
+
+}  // namespace sqos::stats

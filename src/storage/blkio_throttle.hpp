@@ -54,8 +54,9 @@ class ThrottleGroup {
     return a > cap_ ? a - cap_ : Bandwidth::zero();
   }
 
-  FlowId add_flow(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now) {
-    return flows_.add(kind, file, rate, now);
+  FlowId add_flow(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now,
+                  std::uint32_t tenant = 0) {
+    return flows_.add(kind, file, rate, now, tenant);
   }
   bool remove_flow(FlowId id) { return flows_.remove(id); }
 

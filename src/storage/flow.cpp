@@ -14,7 +14,8 @@ constexpr FlowId encode(std::uint32_t slot, std::uint32_t gen) {
 }
 }  // namespace
 
-FlowId FlowTable::add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now) {
+FlowId FlowTable::add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now,
+                      std::uint32_t tenant) {
   std::uint32_t slot = 0;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -33,6 +34,7 @@ FlowId FlowTable::add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime
   f.file = file;
   f.rate = rate;
   f.started = now;
+  f.tenant = tenant;
   dense_.push_back(f);
   total_ += rate;
   return f.id;

@@ -44,6 +44,7 @@ struct Flow {
   std::uint64_t file = 0;       // opaque file key
   Bandwidth rate;               // allocated bandwidth
   SimTime started;
+  std::uint32_t tenant = 0;     // owning tenant id (0 when untenanted)
 };
 
 /// Bookkeeping for the set of flows active on one resource manager.
@@ -57,7 +58,8 @@ struct Flow {
 class FlowTable {
  public:
   /// Insert a flow and return its assigned id.
-  FlowId add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now);
+  FlowId add(FlowKind kind, std::uint64_t file, Bandwidth rate, SimTime now,
+             std::uint32_t tenant = 0);
 
   /// Remove a flow; returns false when the id is unknown (already removed).
   bool remove(FlowId id);

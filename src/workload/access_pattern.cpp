@@ -70,6 +70,59 @@ std::vector<AccessEvent> generate_shifting_pattern(const dfs::FileDirectory& dir
   return events;
 }
 
+std::vector<AccessEvent> generate_tenant_pattern(const dfs::FileDirectory& directory,
+                                                 const TenantPatternParams& params, Rng& rng) {
+  assert(!params.mix.empty());
+  assert(params.duration > SimTime::zero());
+  const PopularitySampler sampler{directory};
+
+  std::vector<AccessEvent> events;
+  std::uint32_t next_user = 0;
+  for (const TenantMixEntry& entry : params.mix) {
+    assert(entry.users > 0);
+    assert(entry.mean_interarrival > SimTime::zero());
+    const bool warped = entry.shape != ArrivalShape::kSteady;
+    const double duration_s = params.duration.as_seconds();
+    double active_s = duration_s;  // length of the tenant's active timeline
+    double cycle_s = 0.0;          // one on/off cycle
+    double on_s = 0.0;             // active window within a cycle
+    double start_s = 0.0;          // window offset within a cycle
+    if (warped) {
+      assert(entry.duty > 0.0 && entry.duty <= 1.0);
+      assert(entry.cycles >= 1);
+      assert(entry.phase >= 0.0 && entry.phase + entry.duty <= 1.0);
+      cycle_s = duration_s / static_cast<double>(entry.cycles);
+      on_s = entry.duty * cycle_s;
+      start_s = entry.phase * cycle_s;
+      active_s = on_s * static_cast<double>(entry.cycles);
+    }
+    for (std::uint32_t u = 0; u < entry.users; ++u) {
+      const std::uint32_t user = next_user + u;
+      double a = 0.0;  // position on the active timeline (seconds)
+      for (;;) {
+        a += rng.exponential(entry.mean_interarrival.as_seconds());
+        if (a >= active_s) break;
+        double t_s = a;
+        if (warped) {
+          // Warp the active-timeline position into its on-window: cycle
+          // index from whole on-windows consumed, plus the in-window offset.
+          const auto cycle = static_cast<double>(static_cast<std::size_t>(a / on_s));
+          t_s = cycle * cycle_s + start_s + (a - cycle * on_s);
+        }
+        const SimTime t = SimTime::seconds(t_s);
+        if (t >= params.duration) break;
+        events.push_back(AccessEvent{t, user, sampler.sample(rng)});
+      }
+    }
+    next_user += static_cast<std::uint32_t>(entry.users);
+  }
+  std::sort(events.begin(), events.end(), [](const AccessEvent& a, const AccessEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.user < b.user;
+  });
+  return events;
+}
+
 std::vector<AccessEvent> generate_pattern(const dfs::FileDirectory& directory,
                                           const PatternParams& params, Rng& rng) {
   assert(params.users > 0);

@@ -47,6 +47,41 @@ struct ShiftingPatternParams {
 [[nodiscard]] std::vector<AccessEvent> generate_shifting_pattern(
     const dfs::FileDirectory& directory, const ShiftingPatternParams& params, Rng& rng);
 
+/// Arrival envelope for one tenant's user population. kSteady is the
+/// paper's homogeneous NET process; kBursty and kDiurnal gate the same
+/// process through on/off duty-cycle windows (many short cycles = bursty
+/// load spikes; one or two long cycles = a day/night pattern).
+enum class ArrivalShape : std::uint8_t { kSteady, kBursty, kDiurnal };
+
+/// One tenant's slice of a mixed-tenant workload. Users are numbered
+/// contiguously across the mix (entry 0 owns users [0, users), entry 1 the
+/// next range, ...), so an event's tenant is recoverable from its user id.
+struct TenantMixEntry {
+  std::size_t users = 16;
+  SimTime mean_interarrival = SimTime::seconds(300.0);
+  ArrivalShape shape = ArrivalShape::kSteady;
+
+  // On/off envelope, ignored for kSteady. The duration splits into `cycles`
+  // equal cycles; each cycle is active for `duty` of its length starting at
+  // `phase` of its length (phase + duty must stay within the cycle).
+  double duty = 0.5;
+  std::size_t cycles = 4;
+  double phase = 0.0;
+};
+
+struct TenantPatternParams {
+  SimTime duration = SimTime::hours(2.0);
+  std::vector<TenantMixEntry> mix;  // entry index == tenant id
+};
+
+/// Generate the merged mixed-tenant pattern, sorted by time (ties broken by
+/// user id). Off-window arrivals are produced by drawing each user's NET
+/// process over the tenant's *active* timeline and warping it into the
+/// on-windows, so the per-window arrival intensity matches the steady
+/// process instead of thinning it.
+[[nodiscard]] std::vector<AccessEvent> generate_tenant_pattern(
+    const dfs::FileDirectory& directory, const TenantPatternParams& params, Rng& rng);
+
 /// Popularity-weighted file sampler over a directory (shared by the pattern
 /// generator and tests).
 class PopularitySampler {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "dfs/cluster.hpp"
@@ -25,6 +26,12 @@ class RequestScheduler {
   /// all users launch simultaneously).
   void schedule(SimTime start = SimTime::seconds(1.0));
 
+  /// Override the user -> client routing (default: user % client_count).
+  /// Mixed-tenant patterns install a map that keeps each tenant's users on
+  /// that tenant's own client range, so requests carry the right tenant id.
+  /// Must be set before schedule().
+  void set_user_map(std::function<std::size_t(std::uint32_t)> map) { user_map_ = std::move(map); }
+
   [[nodiscard]] std::size_t request_count() const { return pattern_.size(); }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_; }
@@ -43,6 +50,7 @@ class RequestScheduler {
  private:
   dfs::Cluster& cluster_;
   std::vector<AccessEvent> pattern_;
+  std::function<std::size_t(std::uint32_t)> user_map_;  // null = round-robin
   std::uint64_t dispatched_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;

@@ -1,0 +1,182 @@
+// QosManager: tenant partition, demand/delivery accounting, and the AIMD
+// controller driven through a deterministic step workload.
+#include "qos/qos_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace sqos::qos {
+namespace {
+
+TenantSlo make_slo(const char* name, std::size_t clients, double floor_mbps,
+                   double ceiling_mbps) {
+  TenantSlo slo;
+  slo.name = name;
+  slo.clients = clients;
+  slo.floor = Bandwidth::mbps(floor_mbps);
+  slo.ceiling = Bandwidth::mbps(ceiling_mbps);
+  return slo;
+}
+
+TEST(QosManager, ClientPartitionIsContiguous) {
+  QosManager qos{{make_slo("a", 2, 1.0, 8.0), make_slo("b", 3, 1.0, 8.0)},
+                 ControllerConfig{}, 4};
+  EXPECT_EQ(qos.tenant_count(), 2u);
+  EXPECT_EQ(qos.total_clients(), 5u);
+  EXPECT_EQ(qos.client_begin(0), 0u);
+  EXPECT_EQ(qos.client_begin(1), 2u);
+  EXPECT_EQ(qos.client_begin(2), 5u);
+  EXPECT_EQ(qos.tenant_of_client(0), 0u);
+  EXPECT_EQ(qos.tenant_of_client(1), 0u);
+  EXPECT_EQ(qos.tenant_of_client(2), 1u);
+  EXPECT_EQ(qos.tenant_of_client(4), 1u);
+}
+
+TEST(QosManager, UncappedBucketsAdmitEverything) {
+  QosManager qos{{make_slo("t", 1, 1.0, 8.0)}, ControllerConfig{}, 2};
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(qos.admit(0, i % 2, Bytes::mib(64.0), SimTime::zero()));
+  }
+  EXPECT_EQ(qos.stats(0).admitted, 100u);
+  EXPECT_EQ(qos.stats(0).throttled, 0u);
+}
+
+TEST(QosManager, IdleTenantIsNeverFloorViolated) {
+  ControllerConfig cfg;
+  cfg.period = SimTime::seconds(1.0);
+  QosManager qos{{make_slo("t", 1, 1.0, 8.0)}, cfg, 1};
+  for (int i = 1; i <= 5; ++i) qos.tick(SimTime::seconds(i));
+  EXPECT_EQ(qos.stats(0).periods, 5u);
+  EXPECT_EQ(qos.stats(0).floor_violations, 0u);
+}
+
+TEST(QosManager, UnmetDemandViolatesFloor) {
+  ControllerConfig cfg;
+  cfg.period = SimTime::seconds(1.0);
+  QosManager qos{{make_slo("t", 1, 1.0, 8.0)}, cfg, 1};
+  qos.on_request(0, Bytes::mib(10.0));  // demand with zero delivery
+  qos.tick(SimTime::seconds(1.0));
+  EXPECT_EQ(qos.stats(0).floor_violations, 1u);
+  // The window reset: the next (idle) period is clean.
+  qos.tick(SimTime::seconds(2.0));
+  EXPECT_EQ(qos.stats(0).floor_violations, 1u);
+}
+
+TEST(QosManager, AllocatedRateProbeSuppressesFloorViolation) {
+  // A tenant whose streams currently hold >= floor bandwidth is being
+  // served, even if no long-running stream completed this period.
+  ControllerConfig cfg;
+  cfg.period = SimTime::seconds(1.0);
+  QosManager qos{{make_slo("t", 1, 1.0, 8.0)}, cfg, 1};
+  qos.set_tenant_rate_probe([](TenantId) { return Bandwidth::mbps(2.0).bps(); });
+  qos.on_request(0, Bytes::mib(10.0));
+  qos.tick(SimTime::seconds(1.0));
+  EXPECT_EQ(qos.stats(0).floor_violations, 0u);
+}
+
+TEST(QosManager, LatencyTargetAccounting) {
+  TenantSlo slo = make_slo("t", 1, 1.0, 8.0);
+  slo.latency_target = SimTime::seconds(10.0);
+  QosManager qos{{slo}, ControllerConfig{}, 1};
+  qos.on_complete(0, Bytes::mib(1.0), SimTime::seconds(5.0));
+  qos.on_complete(0, Bytes::mib(1.0), SimTime::seconds(15.0));
+  EXPECT_EQ(qos.stats(0).latency_samples, 2u);
+  EXPECT_EQ(qos.stats(0).latency_violations, 1u);
+  EXPECT_EQ(qos.stats(0).completed, 2u);
+  EXPECT_EQ(qos.stats(0).delivered_bytes, static_cast<std::uint64_t>(Bytes::mib(2.0).count()));
+}
+
+// Step workload: congestion + an over-ceiling tenant, then a starved tenant.
+// The controller must decrease multiplicatively to the floor, hold, and then
+// recover additively up to the ceiling — the full AIMD saw-tooth, with the
+// exact rate sequence reproducible run after run.
+TEST(QosManager, AimdStepResponseIsDeterministic) {
+  const auto run_scenario = [] {
+    ControllerConfig cfg;
+    cfg.enabled = true;
+    cfg.period = SimTime::seconds(1.0);
+    cfg.ai_bytes_per_sec = 100000;
+    TenantSlo slo = make_slo("t", 1, 4.0, 8.0);  // floor 500 KB/s, ceil 1 MB/s
+    QosManager qos{{slo}, cfg, 1};
+
+    double utilization = 1.0;                       // step 1: congested
+    double allocated = Bandwidth::mbps(32.0).bps();  // 4 MB/s, 4x over ceiling
+    qos.set_utilization_probe([&utilization](std::size_t) { return utilization; });
+    qos.set_tenant_rate_probe([&allocated](TenantId) { return allocated; });
+
+    std::vector<std::int64_t> rates;
+    SimTime now = SimTime::zero();
+    const auto step = [&](int periods) {
+      for (int i = 0; i < periods; ++i) {
+        now = now + SimTime::seconds(1.0);
+        qos.on_request(0, Bytes::mib(4.0));  // demand every period
+        qos.tick(now);
+        rates.push_back(qos.stats(0).rate_bytes_per_sec);
+      }
+    };
+    step(6);  // MD: uncapped -> 2 MB/s -> 1 MB/s -> 500 KB/s (floor), hold
+
+    // Step 2: congestion clears, the tenant is starved by its own bucket.
+    utilization = 0.0;
+    allocated = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      now = now + SimTime::seconds(1.0);
+      qos.on_request(0, Bytes::mib(4.0));
+      // Oversized consume: guarantees a throttle event for the AI condition.
+      (void)qos.admit(0, 0, Bytes::of(1'000'000'000), now);
+      qos.tick(now);
+      rates.push_back(qos.stats(0).rate_bytes_per_sec);
+    }
+    return std::make_tuple(rates, qos.stats(0).rate_decreases, qos.stats(0).rate_increases,
+                           qos.stats(0).floor_violations);
+  };
+
+  const auto [rates, decreases, increases, violations] = run_scenario();
+
+  // MD phase: 4 MB/s allocated, ceiling 1 MB/s. First decrease halves the
+  // *achieved* rate (2 MB/s), then halves again to 1 MB/s; at the ceiling the
+  // MD condition still sees allocated 4 MB/s, so it steps to the floor and
+  // holds there.
+  ASSERT_GE(rates.size(), 6u);
+  EXPECT_EQ(rates[0], 2'000'000);
+  EXPECT_EQ(rates[1], 1'000'000);
+  EXPECT_EQ(rates[2], 500'000);
+  EXPECT_EQ(rates[3], 500'000);  // clamped at the floor: no further decrease
+  EXPECT_EQ(decreases, 3u);
+
+  // AI phase: +100 KB/s per starved period, capped at the 1 MB/s ceiling.
+  EXPECT_EQ(rates[6], 600'000);
+  EXPECT_EQ(rates[7], 700'000);
+  EXPECT_EQ(rates[12], 1'000'000);
+  EXPECT_EQ(rates[13], 1'000'000);  // ceiling: AI stops
+  EXPECT_EQ(increases, 5u);
+  EXPECT_GT(violations, 0u);
+
+  // Byte-determinism: the whole scenario replays identically.
+  const auto [rates2, dec2, inc2, viol2] = run_scenario();
+  EXPECT_EQ(rates, rates2);
+  EXPECT_EQ(decreases, dec2);
+  EXPECT_EQ(increases, inc2);
+  EXPECT_EQ(violations, viol2);
+}
+
+TEST(QosManager, DisabledControllerTicksAccountingOnly) {
+  ControllerConfig cfg;
+  cfg.enabled = false;
+  cfg.period = SimTime::seconds(1.0);
+  QosManager qos{{make_slo("t", 1, 4.0, 8.0)}, cfg, 1};
+  qos.set_utilization_probe([](std::size_t) { return 1.0; });
+  qos.set_tenant_rate_probe([](TenantId) { return Bandwidth::mbps(32.0).bps(); });
+  for (int i = 1; i <= 4; ++i) {
+    qos.on_request(0, Bytes::mib(4.0));
+    qos.tick(SimTime::seconds(i));
+  }
+  EXPECT_EQ(qos.stats(0).periods, 4u);
+  EXPECT_EQ(qos.stats(0).rate_decreases, 0u);
+  EXPECT_EQ(qos.stats(0).rate_increases, 0u);
+  EXPECT_EQ(qos.stats(0).rate_bytes_per_sec, kUncappedRate);
+}
+
+}  // namespace
+}  // namespace sqos::qos

@@ -1,0 +1,96 @@
+// Token-bucket edge cases (ISSUE 7 satellite): zero-rate starvation, burst
+// exhaustion at one sim instant, refill overflow clamping, carry exactness.
+#include "qos/token_bucket.hpp"
+
+#include <gtest/gtest.h>
+
+namespace sqos::qos {
+namespace {
+
+TEST(TokenBucket, StartsFullAndConsumes) {
+  TokenBucket b{1000, 500, SimTime::zero()};
+  EXPECT_EQ(b.tokens(SimTime::zero()), 500);
+  EXPECT_TRUE(b.try_consume(500, SimTime::zero()));
+  EXPECT_FALSE(b.try_consume(1, SimTime::zero()));
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  // A zero-rate tenant gets its initial burst and then nothing, forever.
+  TokenBucket b{0, 100, SimTime::zero()};
+  EXPECT_TRUE(b.try_consume(100, SimTime::zero()));
+  EXPECT_FALSE(b.try_consume(1, SimTime::hours(1000.0)));
+  EXPECT_EQ(b.tokens(SimTime::hours(2000.0)), 0);
+}
+
+TEST(TokenBucket, SameInstantBurstSharesOneRefill) {
+  // Three requests at the same simulated instant drain exactly the tokens
+  // available at that instant — the refill must not be applied three times.
+  TokenBucket b{1000, 1000, SimTime::zero()};
+  const SimTime t = SimTime::seconds(1.0);  // +1000 tokens, saturates at 1000
+  EXPECT_TRUE(b.try_consume(600, t));
+  EXPECT_TRUE(b.try_consume(400, t));
+  EXPECT_FALSE(b.try_consume(1, t));
+}
+
+TEST(TokenBucket, RefillAccruesAtRate) {
+  TokenBucket b{1000, 10000, SimTime::zero()};
+  ASSERT_TRUE(b.try_consume(10000, SimTime::zero()));
+  EXPECT_EQ(b.tokens(SimTime::seconds(3.0)), 3000);
+  EXPECT_EQ(b.tokens(SimTime::seconds(20.0)), 10000);  // saturated at burst
+}
+
+TEST(TokenBucket, CarryMakesSmallStepsExact) {
+  // 3 bytes/s refilled in 1 ms steps accrues fractional bytes per step; the
+  // microsecond carry must make 1000 small steps equal one big step.
+  TokenBucket small{3, 1 << 20, SimTime::zero()};
+  TokenBucket big{3, 1 << 20, SimTime::zero()};
+  ASSERT_TRUE(small.try_consume(1 << 20, SimTime::zero()));
+  ASSERT_TRUE(big.try_consume(1 << 20, SimTime::zero()));
+  for (int i = 1; i <= 1000; ++i) {
+    small.refill(SimTime::millis(i));
+  }
+  EXPECT_EQ(small.tokens(SimTime::seconds(1.0)), big.tokens(SimTime::seconds(1.0)));
+  EXPECT_EQ(small.tokens(SimTime::seconds(1.0)), 3);
+}
+
+TEST(TokenBucket, OverflowClampsToBurstInsteadOfWrapping) {
+  // An uncapped-rate bucket left idle for a very long simulated time would
+  // overflow rate * dt; the refill must clamp to full, never go negative.
+  TokenBucket b{kUncappedRate, kUncappedRate * 2, SimTime::zero()};
+  ASSERT_TRUE(b.try_consume(kUncappedRate, SimTime::zero()));
+  const SimTime decade = SimTime::hours(24.0 * 365.0 * 10.0);
+  EXPECT_EQ(b.tokens(decade), kUncappedRate * 2);
+  EXPECT_TRUE(b.try_consume(kUncappedRate * 2, decade));
+}
+
+TEST(TokenBucket, SetRateAccruesAtOldRateFirst) {
+  TokenBucket b{1000, 100000, SimTime::zero()};
+  ASSERT_TRUE(b.try_consume(100000, SimTime::zero()));
+  // 2 s at 1000 B/s accrue before the switch to 1 B/s.
+  b.set_rate(1, SimTime::seconds(2.0));
+  EXPECT_EQ(b.tokens(SimTime::seconds(2.0)), 2000);
+  EXPECT_EQ(b.tokens(SimTime::seconds(3.0)), 2001);
+  EXPECT_EQ(b.rate(), 1);
+}
+
+TEST(TokenBucket, SetBurstClampsBalance) {
+  TokenBucket b{1000, 5000, SimTime::zero()};
+  b.set_burst(700);
+  EXPECT_EQ(b.burst(), 700);
+  EXPECT_EQ(b.tokens(SimTime::zero()), 700);
+  b.set_burst(-5);  // negative requests clamp to an empty bucket
+  EXPECT_EQ(b.burst(), 0);
+  EXPECT_EQ(b.tokens(SimTime::zero()), 0);
+}
+
+TEST(TokenBucket, RefundNeverExceedsBurst) {
+  TokenBucket b{0, 100, SimTime::zero()};
+  ASSERT_TRUE(b.try_consume(40, SimTime::zero()));
+  b.refund(40);
+  EXPECT_EQ(b.tokens(SimTime::zero()), 100);
+  b.refund(1000);
+  EXPECT_EQ(b.tokens(SimTime::zero()), 100);
+}
+
+}  // namespace
+}  // namespace sqos::qos

@@ -18,6 +18,9 @@
 //   --ops=N           [400]  operations per run
 //   --audit-every=N   [1]    audit after every Nth simulator event
 //   --rms=N --clients=N --shards=N --files=N   cluster topology
+//   --tenants=N       [0]    split the clients into N contiguous tenants with
+//                            staggered SLOs and run the AIMD controller; 0 =
+//                            the untenanted cluster (historical behavior)
 //   --faults                 compose a random fault schedule
 //   --soft                   soft real-time base mode
 //   --no-minimize            skip schedule minimization on failure
@@ -81,6 +84,10 @@ int main(int argc, char** argv) {
     }
     if (parse_u64(arg, "--files", v)) {
       options.file_count = static_cast<std::size_t>(v);
+      continue;
+    }
+    if (parse_u64(arg, "--tenants", v)) {
+      options.tenant_count = static_cast<std::size_t>(v);
       continue;
     }
     if (std::strcmp(arg, "--faults") == 0) { options.with_faults = true; continue; }
