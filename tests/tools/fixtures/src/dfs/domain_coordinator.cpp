@@ -1,0 +1,26 @@
+// Cross-write and capture fixture: global-domain Coordinator touching
+// rm-domain Shard state directly, through the declared exchange channel,
+// and from scheduled closures.
+#include "dfs/domain_coordinator.hpp"
+
+namespace fix {
+
+void Coordinator::step() {
+  shard_.bump();             // line 9: domain-cross-write (non-const call)
+  shard_.held_ = 3;          // line 10: domain-cross-write (member write)
+  shard_.deliver(4);         // SQOS_EXCHANGE channel: allowed
+  rounds_ += shard_.size();  // const read: allowed
+}
+
+void Coordinator::plan() {
+  schedule_after(5, [&shard_]() { rounds_ = 1; });  // line 16: domain-capture
+}
+
+void Coordinator::replan() {
+  schedule_after(7, [this]() {
+    Shard& fresh = resolve_shard();
+    touch(&fresh);  // binding declared inside the closure: same event, allowed
+  });
+}
+
+}  // namespace fix

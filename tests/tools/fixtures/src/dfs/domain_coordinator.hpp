@@ -1,0 +1,18 @@
+// Paired header for the cross-write/capture fixture: the foreign-domain
+// member binding is declared here and merged into the .cpp's scan.
+#pragma once
+
+namespace fix {
+
+class SQOS_DOMAIN(global) Coordinator {
+ public:
+  void step();
+  void plan();
+  void replan();
+
+ private:
+  Shard& shard_;
+  int rounds_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Shared fixture: annotated domain classes. The analyzer reads the SQOS_*
+// tokens as text, so this file never needs to compile or be included.
+#pragma once
+
+namespace fix {
+
+class SQOS_DOMAIN(rm) Shard {
+ public:
+  SQOS_EXCHANGE void deliver(int bytes);
+  SQOS_SETUP void attach(int id);
+  [[nodiscard]] int size() const { return held_; }
+  void bump();
+
+ private:
+  int held_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,14 @@
+// Suppression fixture: justified suppressions silence domain findings;
+// unjustified and unused ones are themselves findings.
+#include "dfs/domain_suppressed.hpp"
+
+namespace fix {
+
+void Muter::step() {
+  shard_.bump();  // sqos-lint: allow(domain-cross-write): fixture: exercised by tests
+  shard_.poke();  // sqos-lint: allow(domain): fixture: umbrella spelling covers all three rules
+  shard_.bump();  // sqos-lint: allow(domain-capture)
+  beats_ += 1;    // sqos-lint: allow(domain-cross-write): fixture: nothing on this line
+}
+
+}  // namespace fix

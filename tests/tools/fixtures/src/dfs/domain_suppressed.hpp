@@ -1,0 +1,15 @@
+// Paired header for the suppression fixture.
+#pragma once
+
+namespace fix {
+
+class SQOS_DOMAIN(global) Muter {
+ public:
+  void step();
+
+ private:
+  Shard& shard_;
+  int beats_ = 0;
+};
+
+}  // namespace fix

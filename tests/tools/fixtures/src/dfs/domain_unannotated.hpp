@@ -1,0 +1,15 @@
+// domain-unannotated fixture: a top-level class with mutable simulation
+// state (`_`-suffixed members) in a scoped dir but no SQOS_DOMAIN token.
+#pragma once
+
+namespace fix {
+
+class Orphan {  // line 7: domain-unannotated
+ public:
+  void bump() { count_ += 1; }
+
+ private:
+  long count_ = 0;
+};
+
+}  // namespace fix

@@ -1,10 +1,11 @@
 #include "lint/linter.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <map>
 #include <set>
 #include <utility>
+
+#include "lint/source_view.hpp"
 
 namespace sqos::lint {
 namespace {
@@ -22,247 +23,16 @@ constexpr std::string_view kPragmaOnce = "pragma-once";
 constexpr std::string_view kBadSuppression = "bad-suppression";
 constexpr std::string_view kUnusedSuppression = "unused-suppression";
 
-// ------------------------------------------------------- small helpers --
-
-bool is_word(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
-
-std::string_view trim(std::string_view s) {
-  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
-  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
-  return s;
-}
-
-bool starts_with(std::string_view s, std::string_view prefix) {
-  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
-}
-
-bool ends_with(std::string_view s, std::string_view suffix) {
-  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
-}
-
-/// Find `token` in `line` with word boundaries on both sides. `from` is the
-/// search start. Returns npos when absent.
-std::size_t find_word(std::string_view line, std::string_view token, std::size_t from = 0) {
-  while (true) {
-    const std::size_t pos = line.find(token, from);
-    if (pos == std::string_view::npos) return pos;
-    const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !is_word(line[end]);
-    if (left_ok && right_ok) return pos;
-    from = pos + 1;
-  }
-}
-
-/// Find a call `name(` with a word boundary on the left (so `run_time(` does
-/// not match `time(`). Whitespace between name and paren is accepted.
-std::size_t find_call(std::string_view line, std::string_view name, std::size_t from = 0) {
-  while (true) {
-    const std::size_t pos = find_word(line, name, from);
-    if (pos == std::string_view::npos) return pos;
-    std::size_t i = pos + name.size();
-    while (i < line.size() && is_space(line[i])) ++i;
-    if (i < line.size() && line[i] == '(') return pos;
-    from = pos + 1;
-  }
-}
-
-// ---------------------------------------------------------- file model --
-
-struct Suppression {
-  std::string rule;
-  int comment_line = 0;  // 1-based line of the comment itself
-  int target_line = 0;   // line the suppression applies to (file scope: 0)
-  bool file_scope = false;
-  bool justified = false;
-  bool used = false;
-};
-
 }  // namespace
 
-/// Per-file scan state: the content split into a comment-and-string-blanked
-/// "code view" (rules match against this, so tokens in comments or string
-/// literals never fire) plus the comment text per line (suppressions live
-/// there) and the unordered-container names declared in this file.
-struct SourceFile {
-  std::string path;
-  std::vector<std::string> code;      // per line; comments/strings blanked
-  std::vector<std::string> comments;  // per line; comment text only
-  std::vector<Suppression> sups;
+/// Per-file scan state: the shared comment-and-string-blanked source view
+/// (tools/lint/source_view.hpp) plus the unordered-container names declared
+/// in this file (the no-unordered-iteration symbol table).
+struct SourceFile : SourceView {
   std::set<std::string, std::less<>> unordered_names;
 };
 
 namespace {
-
-/// Split `content` into per-line code/comment views. A small state machine
-/// handles //, /* */, "..."/'...' (with escapes) and R"delim(...)delim".
-/// Blanked regions become spaces so columns stay aligned.
-void split_views(std::string_view content, std::vector<std::string>& code,
-                 std::vector<std::string>& comments) {
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State st = State::kCode;
-  std::string raw_end;  // `)delim"` terminator for the active raw string
-  std::string code_line;
-  std::string comment_line;
-
-  auto flush = [&] {
-    code.push_back(code_line);
-    comments.push_back(comment_line);
-    code_line.clear();
-    comment_line.clear();
-  };
-
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    const char c = content[i];
-    if (c == '\n') {
-      if (st == State::kLineComment) st = State::kCode;
-      flush();
-      continue;
-    }
-    switch (st) {
-      case State::kCode:
-        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
-          st = State::kLineComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
-          st = State::kBlockComment;
-          code_line += "  ";
-          ++i;
-        } else if (c == 'R' && i + 1 < content.size() && content[i + 1] == '"' &&
-                   (i == 0 || !is_word(content[i - 1]))) {
-          // R"delim( ... )delim"
-          std::size_t p = i + 2;
-          std::string delim;
-          while (p < content.size() && content[p] != '(' && content[p] != '\n') {
-            delim += content[p];
-            ++p;
-          }
-          raw_end = ")" + delim + "\"";
-          st = State::kRawString;
-          for (std::size_t k = i; k < p && k < content.size(); ++k) code_line += ' ';
-          i = p;  // at '(' (or newline, handled next iteration)
-        } else if (c == '"') {
-          st = State::kString;
-          code_line += ' ';
-        } else if (c == '\'') {
-          st = State::kChar;
-          code_line += ' ';
-        } else {
-          code_line += c;
-        }
-        break;
-      case State::kLineComment:
-        comment_line += c;
-        code_line += ' ';
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
-          st = State::kCode;
-          code_line += "  ";
-          ++i;
-        } else {
-          comment_line += c;
-          code_line += ' ';
-        }
-        break;
-      case State::kString:
-        code_line += ' ';
-        if (c == '\\' && i + 1 < content.size()) {
-          code_line += ' ';
-          ++i;
-        } else if (c == '"') {
-          st = State::kCode;
-        }
-        break;
-      case State::kChar:
-        code_line += ' ';
-        if (c == '\\' && i + 1 < content.size()) {
-          code_line += ' ';
-          ++i;
-        } else if (c == '\'') {
-          st = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        code_line += ' ';
-        if (c == ')' && content.compare(i, raw_end.size(), raw_end) == 0) {
-          for (std::size_t k = 1; k < raw_end.size(); ++k) code_line += ' ';
-          i += raw_end.size() - 1;
-          st = State::kCode;
-        }
-        break;
-    }
-  }
-  flush();
-}
-
-/// Parse `sqos-lint: allow(rule): justification` directives out of the
-/// per-line comment text. A directive on a line with code applies to that
-/// line; on a comment-only line it applies to the next line carrying code.
-void parse_suppressions(SourceFile& f) {
-  for (std::size_t ln = 0; ln < f.comments.size(); ++ln) {
-    const std::string& com = f.comments[ln];
-    std::size_t pos = com.find("sqos-lint:");
-    if (pos == std::string::npos) continue;
-    pos += std::string_view{"sqos-lint:"}.size();
-    std::string_view rest = trim(std::string_view{com}.substr(pos));
-
-    Suppression s;
-    if (starts_with(rest, "allow-file(")) {
-      s.file_scope = true;
-      rest.remove_prefix(std::string_view{"allow-file("}.size());
-    } else if (starts_with(rest, "allow(")) {
-      rest.remove_prefix(std::string_view{"allow("}.size());
-    } else {
-      continue;  // not a directive we know; leave plain comments alone
-    }
-    const std::size_t close = rest.find(')');
-    if (close == std::string_view::npos) continue;
-    s.rule = std::string{trim(rest.substr(0, close))};
-    rest.remove_prefix(close + 1);
-    rest = trim(rest);
-    if (starts_with(rest, ":")) {
-      rest.remove_prefix(1);
-      s.justified = trim(rest).size() >= 8;  // a real sentence, not "ok"
-    }
-    s.comment_line = static_cast<int>(ln + 1);
-    if (!s.file_scope) {
-      // Same line if it carries code, otherwise the next code-bearing line.
-      if (!trim(f.code[ln]).empty()) {
-        s.target_line = s.comment_line;
-      } else {
-        s.target_line = s.comment_line;  // fallback: self
-        for (std::size_t nxt = ln + 1; nxt < f.code.size(); ++nxt) {
-          if (!trim(f.code[nxt]).empty()) {
-            s.target_line = static_cast<int>(nxt + 1);
-            break;
-          }
-        }
-      }
-    }
-    f.sups.push_back(std::move(s));
-  }
-}
-
-/// Skip a balanced `<...>` template argument list. `pos` points at '<'.
-/// Returns the index one past the matching '>', or npos if unbalanced
-/// within the joined text.
-std::size_t skip_template_args(std::string_view text, std::size_t pos) {
-  int depth = 0;
-  for (std::size_t i = pos; i < text.size(); ++i) {
-    if (text[i] == '<') ++depth;
-    else if (text[i] == '>') {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string_view::npos;
-}
 
 /// Collect the names declared with an unordered container type in this file:
 /// members, locals, parameters, and functions returning one by value. Used
@@ -733,13 +503,8 @@ Linter::~Linter() = default;
 std::size_t Linter::files_scanned() const { return files_.size(); }
 
 void Linter::add_file(std::string path, std::string content) {
-  for (char& c : path) {
-    if (c == '\\') c = '/';
-  }
   SourceFile f;
-  f.path = std::move(path);
-  split_views(content, f.code, f.comments);
-  parse_suppressions(f);
+  static_cast<SourceView&>(f) = make_source_view(std::move(path), content);
   collect_unordered_names(f);
   files_.push_back(std::move(f));
 }
@@ -791,6 +556,9 @@ std::vector<Finding> Linter::run() {
       if (!suppressed) all.push_back(std::move(fd));
     }
     for (const Suppression& s : f.sups) {
+      // Domain-family suppressions belong to the sibling sqos_domain_check
+      // pass; it audits their justification and use, not this linter.
+      if (s.rule == "domain" || starts_with(s.rule, "domain-")) continue;
       if (!s.justified) {
         all.push_back(Finding{
             std::string{kBadSuppression}, f.path, s.comment_line,
@@ -841,9 +609,12 @@ const std::vector<RuleInfo>& rule_catalog() {
 
 // -------------------------------------------------------------- output --
 
-std::string to_json(const std::vector<Finding>& findings, std::size_t files_scanned) {
+std::string to_json(const std::vector<Finding>& findings, std::size_t files_scanned,
+                    std::string_view schema) {
   std::string out;
-  out += "{\n  \"schema\": \"sqos-lint-v1\",\n  \"files_scanned\": ";
+  out += "{\n  \"schema\": \"";
+  out += schema;
+  out += "\",\n  \"files_scanned\": ";
   out += std::to_string(files_scanned);
   out += ",\n  \"finding_count\": ";
   out += std::to_string(findings.size());
@@ -865,11 +636,11 @@ std::string to_json(const std::vector<Finding>& findings, std::size_t files_scan
   return out;
 }
 
-std::string to_github(const std::vector<Finding>& findings) {
+std::string to_github(const std::vector<Finding>& findings, std::string_view title_prefix) {
   std::string out;
   for (const Finding& f : findings) {
     out += "::error file=" + f.file + ",line=" + std::to_string(f.line) +
-           ",title=sqos-lint " + f.rule + "::" + f.message + "\n";
+           ",title=" + std::string{title_prefix} + " " + f.rule + "::" + f.message + "\n";
   }
   return out;
 }

@@ -18,12 +18,13 @@
 //                            and parallel-runner workers)
 //   nodiscard-result         *Result/*Status/*Error types not [[nodiscard]]
 //   pragma-once              headers missing #pragma once (or a guard)
-//   bad-suppression          sqos-lint: allow(...) without a justification
+//   bad-suppression          an allow(...) directive without a justification
 //   unused-suppression       a justified suppression that matched nothing
 //
-// Suppression syntax (inline comment, same line or the line above):
-//   // sqos-lint: allow(<rule>): <justification, at least 8 chars>
-//   // sqos-lint: allow-file(<rule>): <justification>   (whole file)
+// Suppression syntax: an inline comment (same line or the line above) with
+// the `sqos-lint:` marker followed by
+//   allow(<rule>): <justification, at least 8 chars>
+//   allow-file(<rule>): <justification>   (whole file)
 // An unjustified suppression does NOT suppress — the original finding is
 // kept and bad-suppression is added, so the justification is never optional.
 #pragma once
@@ -77,11 +78,15 @@ class Linter {
   std::vector<SourceFile> files_;  // incomplete element type: ctor/dtor in .cpp
 };
 
-/// Render findings as the `sqos-lint-v1` JSON document.
+/// Render findings as a versioned JSON document. The schema id names the
+/// producing pass: `sqos-lint-v1` (default) or `sqos-domain-check-v1`.
 [[nodiscard]] std::string to_json(const std::vector<Finding>& findings,
-                                  std::size_t files_scanned);
+                                  std::size_t files_scanned,
+                                  std::string_view schema = "sqos-lint-v1");
 
 /// Render findings as GitHub workflow annotations (::error file=...).
-[[nodiscard]] std::string to_github(const std::vector<Finding>& findings);
+/// `title_prefix` names the producing tool in the annotation title.
+[[nodiscard]] std::string to_github(const std::vector<Finding>& findings,
+                                    std::string_view title_prefix = "sqos-lint");
 
 }  // namespace sqos::lint

@@ -1,0 +1,243 @@
+#include "lint/source_view.hpp"
+
+#include <cctype>
+#include <utility>
+
+namespace sqos::lint {
+
+bool is_word(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::size_t find_word(std::string_view line, std::string_view token, std::size_t from) {
+  while (true) {
+    const std::size_t pos = line.find(token, from);
+    if (pos == std::string_view::npos) return pos;
+    const bool left_ok = pos == 0 || !is_word(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word(line[end]);
+    if (left_ok && right_ok) return pos;
+    from = pos + 1;
+  }
+}
+
+std::size_t find_call(std::string_view line, std::string_view name, std::size_t from) {
+  while (true) {
+    const std::size_t pos = find_word(line, name, from);
+    if (pos == std::string_view::npos) return pos;
+    std::size_t i = pos + name.size();
+    while (i < line.size() && is_space(line[i])) ++i;
+    if (i < line.size() && line[i] == '(') return pos;
+    from = pos + 1;
+  }
+}
+
+std::size_t skip_template_args(std::string_view text, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    else if (text[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+namespace {
+
+/// Split `content` into per-line code/comment views. A small state machine
+/// handles //, /* */, "..."/'...' (with escapes) and R"delim(...)delim".
+/// Blanked regions become spaces so columns stay aligned.
+void split_views(std::string_view content, std::vector<std::string>& code,
+                 std::vector<std::string>& comments) {
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State st = State::kCode;
+  std::string raw_end;  // `)delim"` terminator for the active raw string
+  std::string code_line;
+  std::string comment_line;
+
+  auto flush = [&] {
+    code.push_back(code_line);
+    comments.push_back(comment_line);
+    code_line.clear();
+    comment_line.clear();
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      if (st == State::kLineComment) st = State::kCode;
+      flush();
+      continue;
+    }
+    switch (st) {
+      case State::kCode:
+        if (c == '/' && i + 1 < content.size() && content[i + 1] == '/') {
+          st = State::kLineComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == '/' && i + 1 < content.size() && content[i + 1] == '*') {
+          st = State::kBlockComment;
+          code_line += "  ";
+          ++i;
+        } else if (c == 'R' && i + 1 < content.size() && content[i + 1] == '"' &&
+                   (i == 0 || !is_word(content[i - 1]))) {
+          // R"delim( ... )delim"
+          std::size_t p = i + 2;
+          std::string delim;
+          while (p < content.size() && content[p] != '(' && content[p] != '\n') {
+            delim += content[p];
+            ++p;
+          }
+          raw_end = ")" + delim + "\"";
+          st = State::kRawString;
+          for (std::size_t k = i; k < p && k < content.size(); ++k) code_line += ' ';
+          i = p;  // at '(' (or newline, handled next iteration)
+        } else if (c == '"') {
+          st = State::kString;
+          code_line += ' ';
+        } else if (c == '\'') {
+          st = State::kChar;
+          code_line += ' ';
+        } else {
+          code_line += c;
+        }
+        break;
+      case State::kLineComment:
+        comment_line += c;
+        code_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < content.size() && content[i + 1] == '/') {
+          st = State::kCode;
+          code_line += "  ";
+          ++i;
+        } else {
+          comment_line += c;
+          code_line += ' ';
+        }
+        break;
+      case State::kString:
+        code_line += ' ';
+        if (c == '\\' && i + 1 < content.size()) {
+          code_line += ' ';
+          ++i;
+        } else if (c == '"') {
+          st = State::kCode;
+        }
+        break;
+      case State::kChar:
+        code_line += ' ';
+        if (c == '\\' && i + 1 < content.size()) {
+          code_line += ' ';
+          ++i;
+        } else if (c == '\'') {
+          st = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        code_line += ' ';
+        if (c == ')' && content.compare(i, raw_end.size(), raw_end) == 0) {
+          for (std::size_t k = 1; k < raw_end.size(); ++k) code_line += ' ';
+          i += raw_end.size() - 1;
+          st = State::kCode;
+        }
+        break;
+    }
+  }
+  flush();
+}
+
+/// Parse suppression directives (the `sqos-lint:` marker followed by
+/// `allow(rule): justification`) out of the per-line comment text. A
+/// directive on a line with code applies to that line; on a comment-only
+/// line it applies to the next line carrying code.
+void parse_suppressions(SourceView& f) {
+  for (std::size_t ln = 0; ln < f.comments.size(); ++ln) {
+    const std::string& com = f.comments[ln];
+    std::size_t pos = com.find("sqos-lint:");
+    if (pos == std::string::npos) continue;
+    pos += std::string_view{"sqos-lint:"}.size();
+    std::string_view rest = trim(std::string_view{com}.substr(pos));
+
+    Suppression s;
+    if (starts_with(rest, "allow-file(")) {
+      s.file_scope = true;
+      rest.remove_prefix(std::string_view{"allow-file("}.size());
+    } else if (starts_with(rest, "allow(")) {
+      rest.remove_prefix(std::string_view{"allow("}.size());
+    } else {
+      continue;  // not a directive we know; leave plain comments alone
+    }
+    const std::size_t close = rest.find(')');
+    if (close == std::string_view::npos) continue;
+    s.rule = std::string{trim(rest.substr(0, close))};
+    rest.remove_prefix(close + 1);
+    rest = trim(rest);
+    if (starts_with(rest, ":")) {
+      rest.remove_prefix(1);
+      s.justified = trim(rest).size() >= 8;  // a real sentence, not "ok"
+    }
+    s.comment_line = static_cast<int>(ln + 1);
+    if (!s.file_scope) {
+      // Same line if it carries code, otherwise the next code-bearing line.
+      if (!trim(f.code[ln]).empty()) {
+        s.target_line = s.comment_line;
+      } else {
+        s.target_line = s.comment_line;  // fallback: self
+        for (std::size_t nxt = ln + 1; nxt < f.code.size(); ++nxt) {
+          if (!trim(f.code[nxt]).empty()) {
+            s.target_line = static_cast<int>(nxt + 1);
+            break;
+          }
+        }
+      }
+    }
+    f.sups.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+SourceView make_source_view(std::string path, std::string_view content) {
+  for (char& c : path) {
+    if (c == '\\') c = '/';
+  }
+  SourceView f;
+  f.path = std::move(path);
+  split_views(content, f.code, f.comments);
+  parse_suppressions(f);
+  return f;
+}
+
+void join_code(const SourceView& view, std::string& joined, std::vector<std::size_t>& line_of) {
+  joined.clear();
+  line_of.clear();
+  for (std::size_t ln = 0; ln < view.code.size(); ++ln) {
+    for (const char c : view.code[ln]) {
+      joined += c;
+      line_of.push_back(ln);
+    }
+    joined += '\n';
+    line_of.push_back(ln);
+  }
+}
+
+}  // namespace sqos::lint

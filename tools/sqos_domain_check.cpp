@@ -1,0 +1,145 @@
+// sqos_domain_check — shard-ownership analyzer CLI (tools/lint/domain_analyzer.hpp).
+//
+//   sqos_domain_check [--root=DIR] [--json[=PATH]] [--github] [--list-rules] [PATH...]
+//
+// PATHs (default: `src`) are resolved relative to --root (default: cwd) and
+// may be files or directories; directories are walked recursively for
+// .hpp/.h/.hh/.cpp/.cc/.cxx files, skipping build/ and dot-directories. The
+// pass is cross-TU: every collected file contributes to the class/exchange
+// symbol tables before any rule runs, so always pass the whole tree you want
+// analyzed, not one file at a time.
+//
+// Exit codes:
+//   0  clean (or --list-rules)
+//   1  findings reported
+//   2  usage error / unreadable input
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/domain_analyzer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+const char* flag_value(const char* arg, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0 || arg[len] != '=') return nullptr;
+  return arg + len + 1;
+}
+
+bool lintable_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".h" || ext == ".hh" || ext == ".cpp" ||
+         ext == ".cc" || ext == ".cxx";
+}
+
+bool skipped_directory(const fs::path& p) {
+  const std::string name = p.filename().string();
+  return name == "build" || (!name.empty() && name[0] == '.');
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool want_json = false;
+  bool want_github = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (const char* v = flag_value(arg, "--root")) { root = v; continue; }
+    if (const char* v = flag_value(arg, "--json")) { want_json = true; json_path = v; continue; }
+    if (std::strcmp(arg, "--json") == 0) { want_json = true; continue; }
+    if (std::strcmp(arg, "--github") == 0) { want_github = true; continue; }
+    if (std::strcmp(arg, "--list-rules") == 0) {
+      for (const auto& r : sqos::lint::domain_rule_catalog()) {
+        std::printf("%-24s %s\n", std::string{r.id}.c_str(), std::string{r.summary}.c_str());
+      }
+      return 0;
+    }
+    if (arg[0] == '-') {
+      std::fprintf(stderr, "sqos_domain_check: unknown flag %s (see header comment)\n", arg);
+      return 2;
+    }
+    paths.emplace_back(arg);
+  }
+  if (paths.empty()) paths.emplace_back("src");
+
+  // Collect files deterministically: walk, then sort by repo-relative path.
+  std::vector<fs::path> files;
+  std::error_code ec;
+  const fs::path root_path{root};
+  for (const std::string& p : paths) {
+    const fs::path abs = root_path / p;
+    if (fs::is_regular_file(abs, ec)) {
+      files.push_back(abs);
+      continue;
+    }
+    if (!fs::is_directory(abs, ec)) {
+      std::fprintf(stderr, "sqos_domain_check: no such file or directory: %s\n",
+                   abs.string().c_str());
+      return 2;
+    }
+    fs::recursive_directory_iterator it{abs, fs::directory_options::skip_permission_denied, ec};
+    const fs::recursive_directory_iterator end;
+    for (; it != end; it.increment(ec)) {
+      if (ec) break;
+      if (it->is_directory(ec)) {
+        if (skipped_directory(it->path())) it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file(ec) && lintable_extension(it->path())) files.push_back(it->path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  sqos::lint::DomainAnalyzer analyzer;
+  for (const fs::path& file : files) {
+    std::ifstream in{file, std::ios::binary};
+    if (!in) {
+      std::fprintf(stderr, "sqos_domain_check: cannot read %s\n", file.string().c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const fs::path rel = file.lexically_relative(root_path).lexically_normal();
+    analyzer.add_file(rel.generic_string(), std::move(buf).str());
+  }
+
+  const std::vector<sqos::lint::Finding> findings = analyzer.run();
+
+  for (const auto& f : findings) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                 f.message.c_str());
+  }
+  if (want_github) {
+    std::fputs(sqos::lint::to_github(findings, "sqos-domain-check").c_str(), stdout);
+  }
+  if (want_json) {
+    const std::string doc =
+        sqos::lint::to_json(findings, analyzer.files_scanned(), "sqos-domain-check-v1");
+    if (json_path.empty()) {
+      std::fputs(doc.c_str(), stdout);
+    } else {
+      std::ofstream out{json_path, std::ios::binary};
+      out << doc;
+      if (!out) {
+        std::fprintf(stderr, "sqos_domain_check: cannot write %s\n", json_path.c_str());
+        return 2;
+      }
+    }
+  }
+  std::fprintf(stderr, "sqos_domain_check: %zu file(s) scanned, %zu finding(s)\n",
+               analyzer.files_scanned(), findings.size());
+  return findings.empty() ? 0 : 1;
+}
