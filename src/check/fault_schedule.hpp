@@ -20,6 +20,7 @@
 #include "dfs/cluster.hpp"
 #include "util/rng.hpp"
 #include "util/sim_time.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::check {
 
@@ -45,7 +46,7 @@ struct FaultAction {
   [[nodiscard]] std::string to_string() const;
 };
 
-class FaultSchedule {
+class SQOS_DOMAIN(global) FaultSchedule {
  public:
   FaultSchedule() = default;
 

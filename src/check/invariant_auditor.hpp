@@ -34,10 +34,11 @@
 
 #include "check/invariant.hpp"
 #include "dfs/cluster.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::check {
 
-class InvariantAuditor {
+class SQOS_DOMAIN(global) InvariantAuditor {
  public:
   struct Options {
     /// Enforce the firm no-over-allocation law. Only valid while every

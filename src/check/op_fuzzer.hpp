@@ -22,6 +22,7 @@
 #include "core/qos_types.hpp"
 #include "dfs/cluster.hpp"
 #include "util/sim_time.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::check {
 
@@ -102,7 +103,7 @@ struct [[nodiscard]] FuzzResult {
   [[nodiscard]] std::string report() const;
 };
 
-class OpFuzzer {
+class SQOS_DOMAIN(global) OpFuzzer {
  public:
   explicit OpFuzzer(FuzzOptions options) : options_{options} {}
 

@@ -9,10 +9,11 @@
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
+#include "util/domain.hpp"
 
 namespace sqos::core {
 
-class FileHeat {
+class SQOS_DOMAIN(owner) FileHeat {
  public:
   /// One access to `file` was served.
   void record_access(std::uint64_t file);

@@ -12,6 +12,7 @@
 
 #include "util/sim_time.hpp"
 #include "util/units.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::core {
 
@@ -35,7 +36,7 @@ struct HistoryParams {
   SimTime expiry = SimTime::seconds(60.0);
 };
 
-class TwoQueueHistory {
+class SQOS_DOMAIN(owner) TwoQueueHistory {
  public:
   using Params = HistoryParams;
 

@@ -11,10 +11,11 @@
 #include <cstddef>
 
 #include "util/sim_time.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::core {
 
-class OccupationTracker {
+class SQOS_DOMAIN(owner) OccupationTracker {
  public:
   /// A file replica with occupation time `t_ocp` was placed on this RM.
   void add_file(SimTime t_ocp);

@@ -14,6 +14,7 @@
 #include "core/bid.hpp"
 #include "core/selection_tree.hpp"
 #include "util/rng.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::core {
 
@@ -36,7 +37,7 @@ struct PolicyWeights {
   }
 };
 
-class SelectionPolicy {
+class SQOS_DOMAIN(owner) SelectionPolicy {
  public:
   explicit SelectionPolicy(PolicyWeights weights) : w_{weights} {}
 

@@ -27,10 +27,11 @@
 #include <limits>
 #include <span>
 #include <vector>
+#include "util/domain.hpp"
 
 namespace sqos::core {
 
-class SelectionTree {
+class SQOS_DOMAIN(owner) SelectionTree {
  public:
   /// Sentinel slot id: "no active slot".
   static constexpr std::uint32_t kNoSlot = std::numeric_limits<std::uint32_t>::max();

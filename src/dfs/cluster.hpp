@@ -22,10 +22,11 @@
 #include "sim/simulator.hpp"
 #include "storage/block_device.hpp"
 #include "util/error.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
-class Cluster {
+class SQOS_DOMAIN(global) Cluster {
  public:
   /// Validate the configuration and construct all components. The returned
   /// cluster is fully wired; call start() to schedule the registration
@@ -53,11 +54,11 @@ class Cluster {
   void start_qos_controller(SimTime until);
 
   /// Place a static replica on an RM (bootstrap; no protocol traffic).
-  [[nodiscard]] Status place_replica(std::size_t rm_index, FileId file);
+  SQOS_SETUP [[nodiscard]] Status place_replica(std::size_t rm_index, FileId file);
 
   /// Register a new file in the namespace (write path); the data lands via
   /// DfsClient::write_file. Fails on duplicate id or name.
-  [[nodiscard]] Status add_file(FileMeta meta) { return directory_.add(std::move(meta)); }
+  SQOS_EXCHANGE [[nodiscard]] Status add_file(FileMeta meta) { return directory_.add(std::move(meta)); }
 
   // --- failure injection -------------------------------------------------------
 
@@ -109,12 +110,12 @@ class Cluster {
   /// function of the configuration. Call before start() to capture the
   /// registration protocol. Pass-by-reference: the recorder must outlive the
   /// cluster (or be detached by attaching another).
-  void attach_observability(obs::Recorder& recorder);
+  SQOS_SETUP void attach_observability(obs::Recorder& recorder);
 
  private:
   Cluster(ClusterConfig config, FileDirectory directory);
 
-  [[nodiscard]] Status construct();
+  SQOS_SETUP [[nodiscard]] Status construct();
 
   ClusterConfig config_;
   FileDirectory directory_;

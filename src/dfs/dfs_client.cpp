@@ -7,6 +7,7 @@
 #include "obs/recorder.hpp"
 #include "qos/qos_manager.hpp"
 #include "util/logging.hpp"
+#include "util/domain_guard.hpp"
 
 namespace sqos::dfs {
 
@@ -36,6 +37,7 @@ ResourceManager* DfsClient::rm_by_node(net::NodeId id) const {
 }
 
 void DfsClient::stream_file(FileId file, Callback done) {
+  SQOS_DOMAIN_SCOPE(domain_tag());
   if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
@@ -46,6 +48,7 @@ void DfsClient::stream_file(FileId file, Callback done) {
 }
 
 void DfsClient::open(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  SQOS_DOMAIN_SCOPE(domain_tag());
   if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
@@ -56,6 +59,7 @@ void DfsClient::open(FileId file, std::function<void(Result<std::uint64_t>)> ope
 }
 
 void DfsClient::open_write(FileId file, std::function<void(Result<std::uint64_t>)> opened) {
+  SQOS_DOMAIN_SCOPE(domain_tag());
   if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, directory_.get(file).size);
   OpenContext ctx;
   ctx.file = file;
@@ -74,6 +78,7 @@ void DfsClient::open_write(FileId file, std::function<void(Result<std::uint64_t>
 }
 
 void DfsClient::write_file(FileId file, std::size_t replicas, Callback done) {
+  SQOS_DOMAIN_SCOPE(domain_tag());
   ++counters_.writes_attempted;
   const FileMeta& meta = directory_.get(file);
   if (params_.qos != nullptr) params_.qos->on_request(params_.tenant, meta.size);

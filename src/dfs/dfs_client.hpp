@@ -27,6 +27,8 @@
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/domain.hpp"
+#include "util/domain_guard.hpp"
 
 namespace sqos::obs {
 struct Recorder;
@@ -38,7 +40,7 @@ class QosManager;
 
 namespace sqos::dfs {
 
-class DfsClient {
+class SQOS_DOMAIN(client) DfsClient {
  public:
   enum class Negotiation : std::uint8_t { kEcnp, kCnp };
 
@@ -85,6 +87,12 @@ class DfsClient {
   void attach_rms(const std::vector<ResourceManager*>& rms);
 
   [[nodiscard]] net::NodeId node_id() const { return id_; }
+
+  /// Shard identity for the DomainGuard dynamic checker (the dense
+  /// fabric NodeId doubles as the shard index).
+  [[nodiscard]] util::DomainTag domain_tag() const {
+    return util::DomainTag::client(id_.value());
+  }
   [[nodiscard]] const std::string& name() const { return params_.name; }
   [[nodiscard]] const Params& params() const { return params_; }
 

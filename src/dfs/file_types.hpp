@@ -13,6 +13,7 @@
 #include "util/error.hpp"
 #include "util/sim_time.hpp"
 #include "util/units.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
@@ -33,7 +34,7 @@ struct FileMeta {
 /// (occupation times) and the clients (B_req lookup on open). Grows when
 /// clients create files through the write path; existing entries are
 /// immutable.
-class FileDirectory {
+class SQOS_DOMAIN(global) FileDirectory {
  public:
   FileDirectory() = default;
   explicit FileDirectory(std::vector<FileMeta> files);

@@ -1,6 +1,7 @@
 #include "dfs/gc_agent.hpp"
 
 #include "util/logging.hpp"
+#include "util/domain_guard.hpp"
 
 namespace sqos::dfs {
 
@@ -12,6 +13,7 @@ void GarbageCollector::start(SimTime until) {
 }
 
 void GarbageCollector::scan_once() {
+  SQOS_DOMAIN_SCOPE(util::DomainTag::global());
   ++counters_.scans;
   for (ResourceManager* rm : rms_) {
     if (rm->is_online()) scan_rm(*rm);

@@ -16,10 +16,11 @@
 #include "dfs/resource_manager.hpp"
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
-class GarbageCollector {
+class SQOS_DOMAIN(global) GarbageCollector {
  public:
   GarbageCollector(sim::Simulator& simulator, net::Network& network, MetadataDirectory& mm,
                    const core::DeletionConfig& config)
@@ -28,7 +29,7 @@ class GarbageCollector {
   GarbageCollector(const GarbageCollector&) = delete;
   GarbageCollector& operator=(const GarbageCollector&) = delete;
 
-  void attach_rms(std::vector<ResourceManager*> rms) { rms_ = std::move(rms); }
+  SQOS_SETUP void attach_rms(std::vector<ResourceManager*> rms) { rms_ = std::move(rms); }
 
   /// Schedule periodic scans from now until `until`. No-op when disabled.
   void start(SimTime until);

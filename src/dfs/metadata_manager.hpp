@@ -21,6 +21,7 @@
 #include "dfs/rm_catalog.hpp"
 #include "net/node_id.hpp"
 #include "util/units.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::obs {
 struct Recorder;
@@ -28,7 +29,7 @@ struct Recorder;
 
 namespace sqos::dfs {
 
-class MetadataManager {
+class SQOS_DOMAIN(global) MetadataManager {
  public:
   explicit MetadataManager(net::NodeId id) : id_{id} {}
 
@@ -38,29 +39,29 @@ class MetadataManager {
 
   /// RM registration. Maintains global-resource-list integrity: re-registering
   /// the same RM replaces its previous entry and replica set.
-  void handle_register(const RegisterMsg& msg);
+  SQOS_EXCHANGE void handle_register(const RegisterMsg& msg);
 
   /// Periodic resource refresh (anti-entropy): identical to re-registration
   /// but expected — it reconciles the MM's view with the RM's disk truth
   /// after lost commit/delete messages, without the re-registration warning.
-  void handle_resource_update(const RegisterMsg& msg);
+  SQOS_EXCHANGE void handle_resource_update(const RegisterMsg& msg);
 
   /// DFSC resource query: the replica holders of `file`.
-  [[nodiscard]] ResourceReplyMsg handle_resource_query(FileId file);
+  SQOS_EXCHANGE [[nodiscard]] ResourceReplyMsg handle_resource_query(FileId file);
 
   /// Replication-source query: registered RMs holding no replica of `file`,
   /// plus the current replica count N_CUR.
-  [[nodiscard]] ReplicaListReplyMsg handle_replica_list_query(FileId file);
+  SQOS_EXCHANGE [[nodiscard]] ReplicaListReplyMsg handle_replica_list_query(FileId file);
 
-  void handle_replication_done(const ReplicationDoneMsg& msg);
-  void handle_replica_delete(const ReplicaDeleteMsg& msg);
+  SQOS_EXCHANGE void handle_replication_done(const ReplicationDoneMsg& msg);
+  SQOS_EXCHANGE void handle_replica_delete(const ReplicaDeleteMsg& msg);
 
   /// GC arbitration (§III.B deletion): approve dropping the requester's
   /// replica only while the file would keep more than `min_replicas` copies
   /// and the requester actually holds one. Approval removes the replica from
   /// the global map atomically, so concurrent requests cannot both win the
   /// same slot.
-  [[nodiscard]] DeleteReplyMsg handle_delete_request(const DeleteRequestMsg& msg);
+  SQOS_EXCHANGE [[nodiscard]] DeleteReplyMsg handle_delete_request(const DeleteRequestMsg& msg);
 
   /// GC pre-filter: the files for which `rm` holds a replica while the
   /// system-wide count exceeds `floor` (sorted for determinism). One query

@@ -44,7 +44,7 @@ MetadataManager& MetadataDirectory::shard_for(FileId file) {
   return *shards_[shard_index_for(file)];
 }
 
-net::NodeId MetadataDirectory::node_for(FileId file) {
+net::NodeId MetadataDirectory::node_for(FileId file) const {
   return shards_[shard_index_for(file)]->node_id();
 }
 

@@ -16,10 +16,11 @@
 
 #include "dfs/metadata_manager.hpp"
 #include "net/network.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
-class MetadataDirectory {
+class SQOS_DOMAIN(global) MetadataDirectory {
  public:
   /// Creates `shards` MM instances (registering their nodes on the fabric)
   /// and a ring with `virtual_nodes` points per shard.
@@ -31,8 +32,8 @@ class MetadataDirectory {
   // --- routing ---------------------------------------------------------------
 
   /// The shard owning `file` on the consistent-hash ring.
-  [[nodiscard]] MetadataManager& shard_for(FileId file);
-  [[nodiscard]] net::NodeId node_for(FileId file);
+  SQOS_EXCHANGE [[nodiscard]] MetadataManager& shard_for(FileId file);
+  [[nodiscard]] net::NodeId node_for(FileId file) const;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] MetadataManager& shard(std::size_t i) { return *shards_[i]; }

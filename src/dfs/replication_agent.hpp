@@ -21,10 +21,11 @@
 #include "net/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
-class ReplicationAgent {
+class SQOS_DOMAIN(global) ReplicationAgent {
  public:
   ReplicationAgent(sim::Simulator& simulator, net::Network& network, MetadataDirectory& mm,
                    const FileDirectory& directory, const core::ReplicationConfig& config,
@@ -34,11 +35,11 @@ class ReplicationAgent {
   ReplicationAgent& operator=(const ReplicationAgent&) = delete;
 
   /// Wire the RM set (needed to resolve destination NodeIds to components).
-  void attach_rms(std::vector<ResourceManager*> rms);
+  SQOS_SETUP void attach_rms(std::vector<ResourceManager*> rms);
 
   /// Called by an RM after it served a data request; evaluates the trigger
   /// and starts a replication round when it fires.
-  void maybe_trigger(ResourceManager& source);
+  SQOS_EXCHANGE void maybe_trigger(ResourceManager& source);
 
   struct Counters {
     std::uint64_t rounds_started = 0;

@@ -10,6 +10,7 @@
 #include "obs/recorder.hpp"
 #include "qos/qos_manager.hpp"
 #include "util/logging.hpp"
+#include "util/domain_guard.hpp"
 
 namespace sqos::dfs {
 
@@ -31,6 +32,7 @@ ResourceManager::ResourceManager(net::NodeId id, Params params, storage::Throttl
       nominal_cap_{group.cap()} {}
 
 void ResourceManager::throttle_disk(double factor) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   assert(factor > 0.0 && factor <= 1.0);
   const Bandwidth cap = nominal_cap_ * factor;
   group_.set_cap(cap);
@@ -61,6 +63,7 @@ Status ResourceManager::place_replica(FileId file) {
 }
 
 BidMsg ResourceManager::handle_cfp(const CfpMsg& msg) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   ++counters_.cfps_answered;
   const FileMeta& meta = directory_.get(msg.file);
   const SimTime now = sim_.now();
@@ -89,6 +92,7 @@ BidMsg ResourceManager::handle_cfp(const CfpMsg& msg) {
 }
 
 void ResourceManager::sync_ledger() {
+  SQOS_DOMAIN_ASSERT_WRITE(domain_tag());
   ledger_.on_allocation_change(sim_.now(), allocated());
   // Every allocation change passes through here, so this one counter line
   // yields the complete per-RM allocated-bandwidth series in the trace.
@@ -97,6 +101,7 @@ void ResourceManager::sync_ledger() {
 
 bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestMsg& msg,
                                           std::function<void(const DataCompleteMsg&)> deliver_complete) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   ++counters_.data_requests;
   const FileMeta& meta = directory_.get(msg.file);
   const SimTime now = sim_.now();
@@ -228,6 +233,7 @@ bool ResourceManager::handle_data_request(net::NodeId client, const DataRequestM
 }
 
 void ResourceManager::handle_release(net::NodeId client, const ReleaseMsg& msg) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   ++counters_.releases;
   const auto it = sessions_.find(session_key(client, msg.open_id));
   if (it == sessions_.end()) {
@@ -277,6 +283,7 @@ void ResourceManager::handle_release(net::NodeId client, const ReleaseMsg& msg) 
 
 ReplicationResponseMsg ResourceManager::handle_replication_request(
     const ReplicationRequestMsg& msg) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   ++counters_.replication_requests;
   ReplicationResponseMsg response;
   response.transfer_id = msg.transfer_id;
@@ -298,18 +305,22 @@ ReplicationResponseMsg ResourceManager::handle_replication_request(
 }
 
 storage::FlowId ResourceManager::begin_replication_out(FileId file, Bandwidth speed) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   return replication_lane_.add(storage::FlowKind::kReplicationOut, file, speed, sim_.now());
 }
 
 void ResourceManager::end_replication_out(storage::FlowId flow) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   replication_lane_.remove(flow);
 }
 
 storage::FlowId ResourceManager::begin_replication_in(FileId file, Bandwidth speed) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   return replication_lane_.add(storage::FlowKind::kReplicationIn, file, speed, sim_.now());
 }
 
 Status ResourceManager::finish_replication_in(storage::FlowId flow, FileId file) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   replication_lane_.remove(flow);
   pending_incoming_.erase(file);
   trigger_.end_destination();
@@ -326,17 +337,20 @@ Status ResourceManager::finish_replication_in(storage::FlowId flow, FileId file)
 }
 
 void ResourceManager::abort_replication_in(storage::FlowId flow, FileId file) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   replication_lane_.remove(flow);
   pending_incoming_.erase(file);
   trigger_.end_destination();
 }
 
 void ResourceManager::cancel_pending_replication(FileId file) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   pending_incoming_.erase(file);
   trigger_.end_destination();
 }
 
 Status ResourceManager::delete_replica(FileId file) {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   const Status s = disk_.remove(file);
   if (!s.is_ok()) return s;
   occupancy_.remove_file(directory_.get(file).duration());
@@ -348,6 +362,7 @@ Status ResourceManager::delete_replica(FileId file) {
 }
 
 void ResourceManager::fail() {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   online_ = false;
   ++epoch_;
   if (obs_ != nullptr) {
@@ -377,6 +392,7 @@ void ResourceManager::fail() {
 }
 
 void ResourceManager::recover() {
+  SQOS_EXCHANGE_SCOPE(domain_tag());
   online_ = true;
   if (obs_ != nullptr) obs_->trace.instant(obs_track_, "recover", "fault");
 }

@@ -27,6 +27,8 @@
 #include "storage/disk_store.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/domain.hpp"
+#include "util/domain_guard.hpp"
 
 namespace sqos::obs {
 struct Recorder;
@@ -40,7 +42,7 @@ namespace sqos::dfs {
 
 class ReplicationAgent;
 
-class ResourceManager {
+class SQOS_DOMAIN(rm) ResourceManager {
  public:
   struct Params {
     std::string name;                 // "RM1" .. "RM16"
@@ -58,6 +60,12 @@ class ResourceManager {
   // --- identity & capacity ---------------------------------------------------
 
   [[nodiscard]] net::NodeId node_id() const { return id_; }
+
+  /// Shard identity for the DomainGuard dynamic checker (the dense
+  /// fabric NodeId doubles as the shard index).
+  [[nodiscard]] util::DomainTag domain_tag() const {
+    return util::DomainTag::rm(id_.value());
+  }
   [[nodiscard]] bool is_online() const { return online_; }
   [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
   [[nodiscard]] const std::string& name() const { return params_.name; }
@@ -81,48 +89,48 @@ class ResourceManager {
 
   /// Answer a CFP with a bid. In this ECNP variant the RM always responds;
   /// has_file is false when it holds no replica (plain-CNP broadcast case).
-  [[nodiscard]] BidMsg handle_cfp(const CfpMsg& msg);
+  SQOS_EXCHANGE [[nodiscard]] BidMsg handle_cfp(const CfpMsg& msg);
 
   /// Start the data-communication phase. Returns false when firm-mode
   /// admission rejects (allocation would exceed the cap); the caller-provided
   /// `deliver_complete` is sent over the network either immediately (reject,
   /// or explicit-session ack) or when the streamed transfer finishes.
-  bool handle_data_request(net::NodeId client, const DataRequestMsg& msg,
+  SQOS_EXCHANGE bool handle_data_request(net::NodeId client, const DataRequestMsg& msg,
                            std::function<void(const DataCompleteMsg&)> deliver_complete);
 
   /// End an explicit (VFS) session.
-  void handle_release(net::NodeId client, const ReleaseMsg& msg);
+  SQOS_EXCHANGE void handle_release(net::NodeId client, const ReleaseMsg& msg);
 
   // --- replication endpoints ---------------------------------------------------
 
   /// Destination-side admission (§V): applies the paper's three rejection
   /// rules plus disk-capacity and pending-transfer checks.
-  [[nodiscard]] ReplicationResponseMsg handle_replication_request(
+  SQOS_EXCHANGE [[nodiscard]] ReplicationResponseMsg handle_replication_request(
       const ReplicationRequestMsg& msg);
 
   /// Source side: begin shipping one copy. Replication transfers run on the
   /// RM's reserved replication lane (B_REV, §V) — a bandwidth budget outside
   /// the stream-allocation group, so migration traffic never competes with
   /// assured QoS flows (the paper's blkio isolation applied to replication).
-  [[nodiscard]] storage::FlowId begin_replication_out(FileId file, Bandwidth speed);
-  void end_replication_out(storage::FlowId flow);
+  SQOS_EXCHANGE [[nodiscard]] storage::FlowId begin_replication_out(FileId file, Bandwidth speed);
+  SQOS_EXCHANGE void end_replication_out(storage::FlowId flow);
 
   /// Destination side: the incoming copy's flow (admission already accepted).
-  [[nodiscard]] storage::FlowId begin_replication_in(FileId file, Bandwidth speed);
+  SQOS_EXCHANGE [[nodiscard]] storage::FlowId begin_replication_in(FileId file, Bandwidth speed);
 
   /// Destination side: copy landed — store the replica, clear pending state.
-  [[nodiscard]] Status finish_replication_in(storage::FlowId flow, FileId file);
+  SQOS_EXCHANGE [[nodiscard]] Status finish_replication_in(storage::FlowId flow, FileId file);
 
   /// Destination side: the source aborted an in-flight copy; remove the flow
   /// and roll back pending state.
-  void abort_replication_in(storage::FlowId flow, FileId file);
+  SQOS_EXCHANGE void abort_replication_in(storage::FlowId flow, FileId file);
 
   /// Destination side: the source aborted before the copy started (accepted
   /// request whose transfer never began); roll back pending state only.
-  void cancel_pending_replication(FileId file);
+  SQOS_EXCHANGE void cancel_pending_replication(FileId file);
 
   /// Source side: over-bound self-delete (§V) — remove own replica.
-  [[nodiscard]] Status delete_replica(FileId file);
+  SQOS_EXCHANGE [[nodiscard]] Status delete_replica(FileId file);
 
   // --- QoS state ---------------------------------------------------------------
 
@@ -169,7 +177,7 @@ class ResourceManager {
   /// dispatched bandwidth (factor in (0, 1]). Allocations admitted under the
   /// old cap persist — firm admission can legitimately sit above the degraded
   /// cap, which the ledger records as over-allocation (R_OA > 0, §VI.A.1).
-  void throttle_disk(double factor);
+  SQOS_EXCHANGE void throttle_disk(double factor);
 
   /// Restore the nominal dispatched bandwidth after a slow-disk window.
   void restore_disk() { throttle_disk(1.0); }
@@ -185,10 +193,10 @@ class ResourceManager {
   /// contents survive, like a host reboot. In-flight completions observe the
   /// epoch change and report the streams as aborted. Messages delivered to
   /// an offline RM are dropped by the senders' delivery closures.
-  void fail();
+  SQOS_EXCHANGE void fail();
 
   /// Bring the RM back online (the caller re-registers it with the MM).
-  void recover();
+  SQOS_EXCHANGE void recover();
 
   struct Counters {
     std::uint64_t cfps_answered = 0;

@@ -17,12 +17,13 @@
 #include "dfs/file_types.hpp"
 #include "sim/simulator.hpp"
 #include "util/error.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::dfs {
 
 class Cluster;
 
-class VfsAdapter {
+class SQOS_DOMAIN(client) VfsAdapter {
  public:
   VfsAdapter(DfsClient& client, MetadataDirectory& mm, const FileDirectory& directory,
              sim::Simulator& simulator)

@@ -24,6 +24,7 @@
 #include "net/node_id.hpp"
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::net {
 
@@ -42,7 +43,7 @@ struct TrafficStats {
   }
 };
 
-class Network {
+class SQOS_DOMAIN(global) Network {
  public:
   Network(sim::Simulator& simulator, LatencyModel latency)
       : sim_{simulator}, latency_{std::move(latency)} {}
@@ -51,13 +52,14 @@ class Network {
   Network& operator=(const Network&) = delete;
 
   /// Register an endpoint; `name` is for diagnostics only.
-  [[nodiscard]] NodeId register_node(std::string name);
+  SQOS_SETUP [[nodiscard]] NodeId register_node(std::string name);
 
   /// Send a control message. `on_deliver` runs at the receiver after the
   /// sampled latency; it typically captures the typed payload and calls the
   /// receiving component's handler. Messages on a partitioned link are
   /// silently dropped (still accounted as sent — the sender did the work).
-  void send(NodeId from, NodeId to, MessageKind kind, Bytes size, sim::EventFn on_deliver) {
+  SQOS_EXCHANGE void send(NodeId from, NodeId to, MessageKind kind, Bytes size,
+                          sim::EventFn on_deliver) {
     assert(from.value() < names_.size());
     assert(to.value() < names_.size());
     account(stats_, kind, size);

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "util/sim_time.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::qos {
 
@@ -20,7 +21,7 @@ namespace sqos::qos {
 /// rate * burst_window arithmetic stays far from int64 saturation.
 inline constexpr std::int64_t kUncappedRate = std::int64_t{1} << 42;
 
-class TokenBucket {
+class SQOS_DOMAIN(owner) TokenBucket {
  public:
   TokenBucket() = default;
 

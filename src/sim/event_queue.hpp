@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/event.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::sim {
 
@@ -20,7 +21,7 @@ namespace sqos::sim {
 /// away. Orphaned heap records are dropped eagerly whenever they reach the
 /// top, so the heap front is always a live event and next_time() is O(1)
 /// and const.
-class EventQueue {
+class SQOS_DOMAIN(owner) EventQueue {
  public:
   /// Schedule `fn` at time `t`; returns the handle used for cancel().
   EventId push(SimTime t, EventFn fn);

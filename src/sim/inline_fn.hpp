@@ -21,10 +21,11 @@
 #include <new>
 #include <type_traits>
 #include <utility>
+#include "util/domain.hpp"
 
 namespace sqos::sim {
 
-class InlineFn {
+class SQOS_DOMAIN(owner) InlineFn {
  public:
   /// Captures up to this many bytes (with alignment <= kInlineAlign and a
   /// nothrow move constructor) are stored inline in the event record.

@@ -12,10 +12,11 @@
 #include "sim/event_queue.hpp"
 #include "sim/inline_fn.hpp"
 #include "util/sim_time.hpp"
+#include "util/domain.hpp"
 
 namespace sqos::sim {
 
-class Simulator {
+class SQOS_DOMAIN(global) Simulator {
  public:
   Simulator() = default;
 
@@ -26,14 +27,14 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must not be in the past).
-  EventId schedule_at(SimTime t, EventFn fn);
+  SQOS_EXCHANGE EventId schedule_at(SimTime t, EventFn fn);
 
   /// Schedule `fn` after a non-negative delay.
-  EventId schedule_after(SimTime delay, EventFn fn);
+  SQOS_EXCHANGE EventId schedule_after(SimTime delay, EventFn fn);
 
   /// Cancel a pending event. Returns false if it already fired or was
   /// cancelled before.
-  bool cancel(EventId id);
+  SQOS_EXCHANGE bool cancel(EventId id);
 
   /// Run until the queue drains or `stop()` is called.
   void run();
